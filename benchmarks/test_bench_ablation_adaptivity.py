@@ -1,0 +1,45 @@
+"""Ablation — adaptive (HATP) versus nonadaptive (HNTP) seeding.
+
+Same hybrid-error engine, same target set, same error schedule; the only
+difference is whether market feedback is observed between decisions.  Also
+sweeps the pure-Python engine's per-round sample cap to show profit
+saturates quickly (the reproduction-specific knob).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.ablations import adaptivity_ablation, sample_cap_ablation
+
+
+def test_bench_ablation_adaptive_vs_nonadaptive(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark,
+        adaptivity_ablation,
+        dataset="nethept",
+        k=min(10, max(bench_scale.k_values)),
+        scale=bench_scale,
+        random_state=BENCH_SEED,
+    )
+    save_series("ablation_adaptivity", series)
+    print()
+    print(series.format_table())
+    assert set(series.series) == {"HATP", "HNTP"}
+
+
+def test_bench_ablation_sample_cap(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark,
+        sample_cap_ablation,
+        dataset="nethept",
+        k=min(10, max(bench_scale.k_values)),
+        scale=bench_scale,
+        caps=[100, 200, 400, 800],
+        random_state=BENCH_SEED,
+    )
+    save_series("ablation_sample_cap", series)
+    print()
+    print(series.format_table())
+    # the RR-set expenditure must grow with the cap; profit need not
+    rr = series.series["HATP-rr-sets"]
+    assert rr[-1] >= rr[0]

@@ -1,0 +1,55 @@
+"""Ablation — additive (ADDATP) versus hybrid (HATP) sampling error.
+
+Isolates the paper's core efficiency claim on a fixed instance: the hybrid
+error schedule reaches its decisions with far fewer RR sets than the
+additive schedule at comparable profit.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.ablations import dynamic_threshold_ablation, error_mode_ablation
+
+
+def test_bench_ablation_hybrid_vs_additive_error(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark,
+        error_mode_ablation,
+        dataset="nethept",
+        k=min(10, max(bench_scale.k_values)),
+        scale=bench_scale,
+        random_state=BENCH_SEED,
+    )
+    save_series("ablation_error_modes", series)
+    print()
+    print(series.format_table())
+
+    rr_index = series.x_values.index("rr_sets")
+    hatp_rr = series.series["HATP"][rr_index]
+    addatp_rr = series.series["ADDATP"][rr_index]
+    print(f"ADDATP / HATP RR-set ratio: {addatp_rr / max(hatp_rr, 1):.1f}x")
+    assert addatp_rr > hatp_rr
+
+
+def test_bench_ablation_dynamic_threshold(benchmark, bench_scale):
+    outcome = run_once(
+        benchmark,
+        dynamic_threshold_ablation,
+        dataset="nethept",
+        k=min(10, max(bench_scale.k_values)),
+        scale=bench_scale,
+        random_state=BENCH_SEED,
+    )
+    print()
+    print(
+        "ADDATP fixed-threshold profit {fixed_profit:.1f} ({fixed_rr_sets:.0f} RR sets) vs "
+        "dynamic-threshold profit {dynamic_profit:.1f} ({dynamic_rr_sets:.0f} RR sets)".format(
+            **outcome
+        )
+    )
+    assert set(outcome) == {
+        "fixed_profit",
+        "dynamic_profit",
+        "fixed_rr_sets",
+        "dynamic_rr_sets",
+    }

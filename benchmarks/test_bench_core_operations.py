@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate operations the algorithms are built on.
+
+Unlike the figure benchmarks (one timed round of a whole experiment), these
+use pytest-benchmark's normal repeated timing, because the operations are
+micro-scale: RR-set generation, IC cascade simulation, coverage queries and
+residual-graph updates.  They are the knobs to watch when optimising the
+pure-Python engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.diffusion.ic_model import simulate_ic
+from repro.diffusion.realization import Realization
+from repro.graphs import datasets
+from repro.graphs.residual import ResidualGraph
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.rr_sets import generate_rr_set, generate_rr_sets
+
+
+@pytest.fixture(scope="module")
+def proxy_graph():
+    return datasets.load_proxy("epinions", nodes=500, random_state=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def proxy_view(proxy_graph):
+    return ResidualGraph(proxy_graph)
+
+
+@pytest.fixture(scope="module")
+def proxy_collection(proxy_graph):
+    return RRCollection.generate(proxy_graph, 2000, random_state=BENCH_SEED)
+
+
+@pytest.fixture(scope="module")
+def top_nodes(proxy_graph):
+    return [int(v) for v in np.argsort(-proxy_graph.out_degrees)[:10]]
+
+
+def test_bench_rr_set_generation(benchmark, proxy_view):
+    rng = np.random.default_rng(BENCH_SEED)
+    active = proxy_view.active_nodes()
+    result = benchmark(generate_rr_set, proxy_view, rng, active_nodes=active)
+    assert isinstance(result, set)
+
+
+def test_bench_rr_batch_generation(benchmark, proxy_graph):
+    result = benchmark(generate_rr_sets, proxy_graph, 200, BENCH_SEED)
+    assert len(result) == 200
+
+
+def test_bench_ic_cascade_simulation(benchmark, proxy_graph, top_nodes):
+    rng = np.random.default_rng(BENCH_SEED)
+    result = benchmark(simulate_ic, proxy_graph, top_nodes, rng)
+    assert len(result) >= len(top_nodes)
+
+
+def test_bench_realization_sampling_and_spread(benchmark, proxy_graph, top_nodes):
+    def sample_and_spread():
+        world = Realization.sample(proxy_graph, BENCH_SEED)
+        return world.spread(top_nodes)
+
+    assert benchmark(sample_and_spread) >= len(top_nodes)
+
+
+def test_bench_coverage_query(benchmark, proxy_collection, top_nodes):
+    result = benchmark(proxy_collection.coverage, top_nodes)
+    assert result >= 0
+
+
+def test_bench_marginal_coverage_query(benchmark, proxy_collection, top_nodes):
+    node, conditioning = top_nodes[0], top_nodes[1:]
+    result = benchmark(proxy_collection.marginal_coverage, node, conditioning)
+    assert result >= 0
+
+
+def test_bench_residual_update(benchmark, proxy_view, top_nodes):
+    result = benchmark(proxy_view.without, top_nodes)
+    assert result.num_active == proxy_view.num_active - len(top_nodes)

@@ -1,0 +1,27 @@
+"""Figure 2 — profit versus target size under degree-proportional costs."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.profit_experiments import reproduce_figure2
+from repro.experiments.reporting import format_figure, summarize_improvement
+
+
+def test_bench_fig2_profit_degree_cost(benchmark, bench_scale, save_series):
+    results = run_once(benchmark, reproduce_figure2, bench_scale, random_state=BENCH_SEED)
+    save_series("fig2_profit_degree_cost", results)
+    print()
+    print(format_figure(results))
+
+    for dataset, series in results.items():
+        # the full line-up is present with one value per k
+        expected = {"HATP", "HNTP", "NSG", "NDG", "ARS", "Baseline"}
+        assert expected <= set(series.series)
+        for name in expected:
+            assert len(series.series[name]) == len(series.x_values)
+            assert all(v is None or math.isfinite(v) for v in series.series[name])
+        improvements = summarize_improvement(series)
+        print(f"  {dataset}: HATP improvement over nonadaptive -> "
+              + ", ".join(f"{k} {v:+.0%}" for k, v in improvements.items()))

@@ -1,0 +1,21 @@
+"""Figure 3 — profit versus target size under uniform costs."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.profit_experiments import reproduce_figure3
+from repro.experiments.reporting import format_figure
+
+
+def test_bench_fig3_profit_uniform_cost(benchmark, bench_scale, save_series):
+    results = run_once(benchmark, reproduce_figure3, bench_scale, random_state=BENCH_SEED)
+    save_series("fig3_profit_uniform_cost", results)
+    print()
+    print(format_figure(results))
+
+    for series in results.values():
+        assert {"HATP", "HNTP", "NSG", "NDG", "ARS", "Baseline"} <= set(series.series)
+        for values in series.series.values():
+            assert all(v is None or math.isfinite(v) for v in values)

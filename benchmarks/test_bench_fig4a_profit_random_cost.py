@@ -1,0 +1,22 @@
+"""Figure 4(a) — profit under the random cost setting (Epinions proxy)."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.profit_experiments import reproduce_figure4a
+
+
+def test_bench_fig4a_profit_random_cost(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark, reproduce_figure4a, bench_scale, dataset="epinions", random_state=BENCH_SEED
+    )
+    save_series("fig4a_profit_random_cost", series)
+    print()
+    print(series.format_table())
+
+    assert series.dataset == "epinions"
+    assert {"HATP", "HNTP", "NSG", "NDG", "ARS", "Baseline"} <= set(series.series)
+    for values in series.series.values():
+        assert all(v is None or math.isfinite(v) for v in values)

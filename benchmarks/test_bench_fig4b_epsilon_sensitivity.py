@@ -1,0 +1,29 @@
+"""Figure 4(b) — sensitivity of HATP to the relative-error threshold ε."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.sensitivity import epsilon_sensitivity, profit_relative_range
+
+
+def test_bench_fig4b_epsilon_sensitivity(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark,
+        epsilon_sensitivity,
+        dataset="epinions",
+        cost_setting="degree",
+        scale=bench_scale,
+        random_state=BENCH_SEED,
+    )
+    save_series("fig4b_epsilon_sensitivity", series)
+    print()
+    print(series.format_table())
+    span = profit_relative_range(series)
+    print(f"max-to-min relative span of HATP profit across ε: {span:.1%}")
+
+    assert series.x_values == list(bench_scale.epsilon_values)
+    assert all(math.isfinite(v) for v in series.series["HATP-profit"])
+    # every ε produced a usable (positive) profit on this instance
+    assert all(v > 0 for v in series.series["HATP-profit"])

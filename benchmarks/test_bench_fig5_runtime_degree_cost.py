@@ -1,0 +1,34 @@
+"""Figure 5 — running time versus target size, degree-proportional costs.
+
+The shape the paper reports (and this bench checks): ADDATP is much slower
+than HATP, and both hybrid-error algorithms (HATP, HNTP) are slower than the
+single-batch heuristics NSG and NDG.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.reporting import format_figure
+from repro.experiments.runtime_experiments import reproduce_figure5
+
+
+def test_bench_fig5_runtime_degree_cost(benchmark, bench_scale, save_series):
+    results = run_once(benchmark, reproduce_figure5, bench_scale, random_state=BENCH_SEED)
+    save_series("fig5_runtime_degree_cost", results)
+    print()
+    print(format_figure(results))
+
+    for series in results.values():
+        smallest_k_index = 0
+        hatp = series.series["HATP"][smallest_k_index]
+        addatp = series.series["ADDATP"][smallest_k_index]
+        nsg = series.series["NSG"][smallest_k_index]
+        ndg = series.series["NDG"][smallest_k_index]
+        # who is slower than whom (the paper's Fig. 5 ordering)
+        if addatp is not None:
+            assert addatp > hatp
+        assert nsg < hatp
+        assert ndg < hatp
+        # runtime grows (weakly) with k for the per-iteration resampling algorithms
+        hatp_values = [v for v in series.series["HATP"] if v is not None]
+        assert hatp_values[-1] >= hatp_values[0] * 0.5

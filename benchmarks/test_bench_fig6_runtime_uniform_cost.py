@@ -1,0 +1,23 @@
+"""Figure 6 — running time versus target size, uniform costs."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.reporting import format_figure
+from repro.experiments.runtime_experiments import reproduce_figure6
+
+
+def test_bench_fig6_runtime_uniform_cost(benchmark, bench_scale, save_series):
+    results = run_once(benchmark, reproduce_figure6, bench_scale, random_state=BENCH_SEED)
+    save_series("fig6_runtime_uniform_cost", results)
+    print()
+    print(format_figure(results))
+
+    for series in results.values():
+        hatp = series.series["HATP"][0]
+        addatp = series.series["ADDATP"][0]
+        nsg = series.series["NSG"][0]
+        if addatp is not None:
+            assert addatp > hatp
+        assert nsg < hatp
+        assert all(v is None or v >= 0 for values in series.series.values() for v in values)

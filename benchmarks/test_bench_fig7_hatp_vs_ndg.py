@@ -1,0 +1,28 @@
+"""Figure 7 — HATP versus NDG with predefined (λ-controlled) costs."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.predefined_cost import reproduce_figure7
+from repro.experiments.reporting import format_figure
+
+
+def test_bench_fig7_hatp_vs_ndg_predefined_costs(benchmark, bench_scale, save_series):
+    results = run_once(
+        benchmark, reproduce_figure7, bench_scale, dataset="livejournal", random_state=BENCH_SEED
+    )
+    save_series("fig7_hatp_vs_ndg", results)
+    print()
+    print(format_figure(results))
+
+    for cost_setting, series in results.items():
+        assert set(series.series) == {"HATP", "NDG"}
+        assert series.x_values == list(bench_scale.lambda_values)
+        assert all(math.isfinite(v) for v in series.series["HATP"])
+        # average over the λ grid: the adaptive refinement should not lose to
+        # simply seeding NDG's own output (it starts from that very set)
+        mean_hatp = sum(series.series["HATP"]) / len(series.series["HATP"])
+        mean_ndg = sum(series.series["NDG"]) / len(series.series["NDG"])
+        print(f"  {cost_setting}: mean HATP {mean_hatp:.1f} vs mean NDG {mean_ndg:.1f}")

@@ -1,0 +1,23 @@
+"""Figure 8 — HATP versus NSG with predefined (λ-controlled) costs."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.predefined_cost import reproduce_figure8
+from repro.experiments.reporting import format_figure
+
+
+def test_bench_fig8_hatp_vs_nsg_predefined_costs(benchmark, bench_scale, save_series):
+    results = run_once(
+        benchmark, reproduce_figure8, bench_scale, dataset="livejournal", random_state=BENCH_SEED
+    )
+    save_series("fig8_hatp_vs_nsg", results)
+    print()
+    print(format_figure(results))
+
+    for series in results.values():
+        assert set(series.series) == {"HATP", "NSG"}
+        assert len(series.metadata["target_sizes"]) == len(series.x_values)
+        assert all(math.isfinite(v) for v in series.series["HATP"])

@@ -1,0 +1,35 @@
+"""Figure 9 — NSG / NDG with scaled sample sizes.
+
+The paper's message: the nonadaptive algorithms' running time grows roughly
+linearly with the sample budget while their profit saturates — extra samples
+do not substitute for adaptivity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.experiments.sample_scaling import sample_size_scaling
+
+
+def test_bench_fig9_sample_size_scaling(benchmark, bench_scale, save_series):
+    series = run_once(
+        benchmark,
+        sample_size_scaling,
+        dataset="epinions",
+        cost_setting="degree",
+        scale=bench_scale,
+        random_state=BENCH_SEED,
+    )
+    save_series("fig9_sample_scaling", series)
+    print()
+    print(series.format_table())
+
+    factors = series.x_values
+    assert factors == list(bench_scale.sample_scale_factors)
+    for name in ("NSG-profit", "NDG-profit", "NSG-runtime", "NDG-runtime"):
+        assert all(math.isfinite(v) for v in series.series[name])
+    # running time grows with the sample budget (largest factor vs smallest)
+    assert series.series["NSG-runtime"][-1] > series.series["NSG-runtime"][0]
+    assert series.series["NDG-runtime"][-1] > series.series["NDG-runtime"][0]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: adaptive target profit maximization in ~30 lines.
+
+Builds a small NetHEPT-like social graph, picks the top-20 influential users
+as the advertiser's target list, calibrates their seeding costs, and then
+runs HATP — the paper's practical adaptive algorithm — against one simulated
+market (a sampled realization).  Finally the adaptive outcome is compared
+with naively seeding the whole target list.
+
+Run:
+    python examples/quickstart.py [--nodes 400] [--k 20] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import HATP, AdaptiveSession, quickstart_instance
+from repro.diffusion import Realization
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=400, help="proxy graph size")
+    parser.add_argument("--k", type=int, default=20, help="target set size")
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    args = parser.parse_args()
+
+    # 1. Build a TPM instance: graph + target set + per-node seeding costs.
+    instance = quickstart_instance(
+        dataset="nethept", nodes=args.nodes, k=args.k, random_state=args.seed
+    )
+    print(f"graph: {instance.graph!r}")
+    print(f"target set ({instance.k} nodes): {instance.target}")
+    print(f"total target cost c(T) = {instance.target_cost():.1f}")
+
+    # 2. The "true market" is a hidden realization of the probabilistic graph.
+    market = Realization.sample(instance.graph, random_state=args.seed + 1)
+
+    # 3. Run the adaptive algorithm.  It only sees the residual graph and the
+    #    activation feedback the session exposes — never the realization.
+    session = AdaptiveSession(instance.graph, market, instance.costs)
+    algorithm = HATP(instance.target, random_state=args.seed + 2, max_samples_per_round=4000)
+    result = algorithm.run(session)
+
+    print("\n--- adaptive seeding with HATP ---")
+    for record in result.iterations:
+        detail = ""
+        if record.action == "selected":
+            detail = f" (activated {record.newly_activated} users)"
+        print(f"  node {record.node:>5}: {record.action}{detail}")
+    print(f"seeds committed : {result.seeds}")
+    print(f"users activated : {result.realized_spread}")
+    print(f"seeding cost    : {result.seed_cost:.1f}")
+    print(f"profit          : {result.realized_profit:.1f}")
+    print(f"RR sets sampled : {result.rr_sets_generated}")
+
+    # 4. Compare with nonadaptively seeding the whole target list.
+    naive = AdaptiveSession(instance.graph, market, instance.costs).evaluate_nonadaptive(
+        instance.target
+    )
+    print("\n--- seeding the whole target list (baseline) ---")
+    print(f"users activated : {naive.spread:.0f}")
+    print(f"profit          : {naive.profit:.1f}")
+
+    improvement = result.realized_profit - naive.profit
+    print(f"\nadaptive selection earned {improvement:+.1f} more profit than the baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs (``pip install -e .``) work on environments whose
+setuptools predates PEP 660 support or that lack the ``wheel`` package
+(such as fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — Adaptive Target Profit Maximization.
+
+A from-scratch Python reproduction of *"Efficient Approximation Algorithms
+for Adaptive Target Profit Maximization"* (Huang, Tang, Xiao, Sun, Lim —
+ICDE 2020): the adaptive double-greedy family (ADG, ADDATP, HATP), the
+nonadaptive baselines it is compared against (HNTP, NSG, NDG, RS/ARS), and
+every substrate those algorithms need — probabilistic graphs, Independent
+Cascade diffusion, realizations, reverse-reachable-set sampling and the
+concentration bounds that drive the error schedules.
+
+Quick start::
+
+    from repro import quickstart_instance, HATP, AdaptiveSession
+    from repro.diffusion import Realization
+
+    instance = quickstart_instance(random_state=0)
+    realization = Realization.sample(instance.graph, random_state=1)
+    session = AdaptiveSession(instance.graph, realization, instance.costs)
+    result = HATP(instance.target, random_state=2).run(session)
+    print(f"profit: {result.realized_profit:.1f} with {result.num_seeds} seeds")
+"""
+
+from repro.core import (
+    ADDATP,
+    ADG,
+    HATP,
+    HNTP,
+    AdaptiveSession,
+    CostAssignment,
+    ExactSpreadOracle,
+    MonteCarloSpreadOracle,
+    NonadaptiveSelection,
+    ProfitOracle,
+    RISSpreadOracle,
+    SeedingResult,
+    TPMInstance,
+    build_predefined_cost_instance,
+    build_spread_calibrated_instance,
+)
+from repro.baselines import NDG, NSG, AdaptiveRandomSet, RandomSet, top_k_influential
+from repro.graphs import ProbabilisticGraph, ResidualGraph, datasets
+from repro.utils.rng import RandomState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ADDATP",
+    "ADG",
+    "AdaptiveRandomSet",
+    "AdaptiveSession",
+    "CostAssignment",
+    "ExactSpreadOracle",
+    "HATP",
+    "HNTP",
+    "MonteCarloSpreadOracle",
+    "NDG",
+    "NSG",
+    "NonadaptiveSelection",
+    "ProbabilisticGraph",
+    "ProfitOracle",
+    "RISSpreadOracle",
+    "RandomSet",
+    "ResidualGraph",
+    "SeedingResult",
+    "TPMInstance",
+    "build_predefined_cost_instance",
+    "build_spread_calibrated_instance",
+    "datasets",
+    "quickstart_instance",
+    "top_k_influential",
+    "__version__",
+]
+
+
+def quickstart_instance(
+    dataset: str = "nethept",
+    nodes: int = 400,
+    k: int = 20,
+    cost_setting: str = "degree",
+    random_state: RandomState = 0,
+) -> TPMInstance:
+    """Build a small ready-to-use TPM instance in one call.
+
+    Loads a scaled dataset proxy, selects the top-``k`` influential nodes as
+    the target set and calibrates their costs — the same construction the
+    paper's first experimental procedure uses, at laptop scale.
+    """
+    graph = datasets.load_proxy(dataset, nodes=nodes, random_state=random_state)
+    return build_spread_calibrated_instance(
+        graph, k=k, cost_setting=cost_setting, random_state=random_state
+    )

@@ -1,0 +1,30 @@
+"""Baseline algorithms: USM double greedy, RS/ARS, NSG, NDG, IMM-style IM."""
+
+from repro.baselines.double_greedy import (
+    deterministic_double_greedy,
+    deterministic_double_greedy_with_marginals,
+    greedy_maximize,
+    randomized_double_greedy,
+)
+from repro.baselines.imm import (
+    estimate_influence,
+    greedy_max_coverage,
+    top_k_influential,
+)
+from repro.baselines.ndg import NDG
+from repro.baselines.nsg import NSG
+from repro.baselines.random_set import AdaptiveRandomSet, RandomSet
+
+__all__ = [
+    "NDG",
+    "NSG",
+    "AdaptiveRandomSet",
+    "RandomSet",
+    "deterministic_double_greedy",
+    "deterministic_double_greedy_with_marginals",
+    "estimate_influence",
+    "greedy_max_coverage",
+    "greedy_maximize",
+    "randomized_double_greedy",
+    "top_k_influential",
+]

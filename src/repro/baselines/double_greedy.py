@@ -1,0 +1,129 @@
+"""Generic double greedy for unconstrained submodular maximization (USM).
+
+Buchbinder et al. (FOCS 2012) — Algorithm 1 in the paper.  Given a
+set-function oracle ``f`` over a ground set, the deterministic variant
+achieves a 1/3 approximation and the randomized variant a 1/2 approximation
+for nonnegative submodular ``f``.
+
+These generic routines are the building blocks of the nonadaptive profit
+baselines (NDG) and are exposed publicly because they are useful for any
+USM-style objective, not just profit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Set, Tuple
+
+from repro.utils.rng import RandomState, ensure_rng
+
+#: A set function: maps a collection of elements to a real value.
+SetFunction = Callable[[Set[int]], float]
+
+
+def deterministic_double_greedy(
+    ground_set: Sequence[int],
+    objective: SetFunction,
+) -> Tuple[Set[int], float]:
+    """Deterministic double greedy (1/3 approximation for nonnegative USM).
+
+    Returns the selected set and its objective value.  ``objective`` is
+    called ``O(|ground_set|)`` times with incrementally different sets; for
+    expensive objectives wrap it in a cache or provide marginal-gain logic
+    through :func:`deterministic_double_greedy_with_marginals`.
+    """
+    selected: Set[int] = set()
+    kept: Set[int] = {int(v) for v in ground_set}
+    for element in [int(v) for v in ground_set]:
+        gain_add = objective(selected | {element}) - objective(selected)
+        gain_remove = objective(kept - {element}) - objective(kept)
+        if gain_add >= gain_remove:
+            selected.add(element)
+        else:
+            kept.discard(element)
+    return selected, objective(selected)
+
+
+def randomized_double_greedy(
+    ground_set: Sequence[int],
+    objective: SetFunction,
+    random_state: RandomState = None,
+) -> Tuple[Set[int], float]:
+    """Randomized double greedy (1/2 approximation in expectation).
+
+    Each element is kept with probability proportional to the positive part
+    of its add-gain relative to the positive parts of both gains.
+    """
+    rng = ensure_rng(random_state)
+    selected: Set[int] = set()
+    kept: Set[int] = {int(v) for v in ground_set}
+    for element in [int(v) for v in ground_set]:
+        gain_add = objective(selected | {element}) - objective(selected)
+        gain_remove = objective(kept - {element}) - objective(kept)
+        positive_add = max(gain_add, 0.0)
+        positive_remove = max(gain_remove, 0.0)
+        if positive_add + positive_remove == 0.0:
+            keep_probability = 1.0 if gain_add >= gain_remove else 0.0
+        else:
+            keep_probability = positive_add / (positive_add + positive_remove)
+        if rng.random() < keep_probability:
+            selected.add(element)
+        else:
+            kept.discard(element)
+    return selected, objective(selected)
+
+
+def deterministic_double_greedy_with_marginals(
+    ground_set: Sequence[int],
+    add_gain: Callable[[int, Set[int]], float],
+    remove_gain: Callable[[int, Set[int]], float],
+) -> Set[int]:
+    """Double greedy driven by explicit marginal-gain callbacks.
+
+    ``add_gain(u, S)`` must return ``f(S ∪ {u}) − f(S)`` and
+    ``remove_gain(u, T)`` must return ``f(T \\ {u}) − f(T)``; this avoids
+    re-evaluating the full objective when marginals are cheap (as with RR
+    coverage counts).
+    """
+    selected: Set[int] = set()
+    kept: Set[int] = {int(v) for v in ground_set}
+    for element in [int(v) for v in ground_set]:
+        gain_add = add_gain(element, selected)
+        gain_remove = remove_gain(element, kept)
+        if gain_add >= gain_remove:
+            selected.add(element)
+        else:
+            kept.discard(element)
+    return selected
+
+
+def greedy_maximize(
+    ground_set: Sequence[int],
+    objective: SetFunction,
+    max_size: int | None = None,
+    stop_when_no_gain: bool = True,
+) -> Tuple[List[int], float]:
+    """Plain (simple) greedy: repeatedly add the element with best marginal gain.
+
+    With ``stop_when_no_gain`` the loop stops once no element improves the
+    objective, which is the behaviour profit-style (non-monotone) objectives
+    need; for cardinality-constrained monotone objectives pass ``max_size``.
+    """
+    remaining = [int(v) for v in ground_set]
+    selected: List[int] = []
+    current_value = objective(set())
+    limit = len(remaining) if max_size is None else min(max_size, len(remaining))
+    for _ in range(limit):
+        best_element, best_value = None, current_value
+        for element in remaining:
+            value = objective(set(selected) | {element})
+            if value > best_value:
+                best_element, best_value = element, value
+        if best_element is None:
+            if stop_when_no_gain:
+                break
+            best_element = remaining[0]
+            best_value = objective(set(selected) | {best_element})
+        selected.append(best_element)
+        remaining.remove(best_element)
+        current_value = best_value
+    return selected, current_value

@@ -1,0 +1,106 @@
+"""Greedy max-coverage influence maximization (IMM-style target selection).
+
+The paper's first target-construction procedure uses a state-of-the-art
+influence-maximization algorithm (Tang et al., SIGMOD 2015) to pick the
+top-``k`` influential users as the target set ``T``.  The essential
+primitive of that family of algorithms is *greedy maximum coverage over a
+batch of RR sets*, which enjoys the standard ``1 − 1/e`` guarantee relative
+to the sample; this module implements that primitive directly with a
+configurable sample size instead of IMM's instance-dependent sample-size
+derivation (which only matters for worst-case guarantees, not for building
+a reasonable target set).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.rng import RandomState
+from repro.utils.validation import require, require_positive
+
+
+def greedy_max_coverage(
+    collection: RRCollection,
+    k: int,
+    candidates: Optional[Sequence[int]] = None,
+) -> Tuple[List[int], float]:
+    """Greedily pick ``k`` nodes maximizing RR-set coverage.
+
+    Returns the chosen nodes (in pick order) and the estimated spread of the
+    chosen set.  When ``candidates`` is given the choice is restricted to it.
+    """
+    require_positive(k, "k")
+    covered = np.zeros(collection.num_sets, dtype=bool)
+    pool = None if candidates is None else [int(v) for v in candidates]
+    chosen: List[int] = []
+    for _ in range(k):
+        best_node, best_gain, best_ids = None, -1, []
+        search_space = pool if pool is not None else _nodes_appearing(collection)
+        for node in search_space:
+            if node in chosen:
+                continue
+            new_ids = [
+                rr_id for rr_id in collection.sets_containing(node) if not covered[rr_id]
+            ]
+            if len(new_ids) > best_gain:
+                best_node, best_gain, best_ids = node, len(new_ids), new_ids
+        if best_node is None:
+            break
+        chosen.append(best_node)
+        covered[best_ids] = True
+    estimated_spread = (
+        covered.sum() * collection.num_active_nodes / max(collection.num_sets, 1)
+    )
+    return chosen, float(estimated_spread)
+
+
+def _nodes_appearing(collection: RRCollection) -> List[int]:
+    """Every node that appears in at least one RR set (candidates for coverage)."""
+    nodes = set()
+    for rr in collection.rr_sets:
+        nodes.update(rr)
+    return sorted(nodes)
+
+
+def top_k_influential(
+    graph: ProbabilisticGraph,
+    k: int,
+    num_samples: int = 5000,
+    random_state: RandomState = None,
+) -> List[int]:
+    """The top-``k`` influential nodes by greedy RR-set coverage.
+
+    This is the target-set construction used by the paper's first
+    experimental procedure.
+    """
+    require_positive(k, "k")
+    require(k <= graph.n, "k cannot exceed the number of nodes")
+    collection = RRCollection.generate(graph, num_samples, random_state)
+    chosen, _ = greedy_max_coverage(collection, k)
+    if len(chosen) < k:
+        # Pad with the highest out-degree nodes not yet chosen (isolated-root
+        # corner case on very sparse graphs).
+        chosen_set = set(chosen)
+        by_degree = np.argsort(-graph.out_degrees)
+        for node in by_degree.tolist():
+            if node not in chosen_set:
+                chosen.append(int(node))
+                chosen_set.add(node)
+            if len(chosen) == k:
+                break
+    return chosen
+
+
+def estimate_influence(
+    graph: ProbabilisticGraph,
+    seeds: Sequence[int],
+    num_samples: int = 5000,
+    random_state: RandomState = None,
+) -> float:
+    """RIS estimate of ``E[I(S)]`` (convenience wrapper)."""
+    collection = RRCollection.generate(graph, num_samples, random_state)
+    return collection.estimate_spread(seeds)

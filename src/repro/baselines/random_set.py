@@ -1,0 +1,118 @@
+"""RS and ARS — the random-set baselines.
+
+Feige et al. (2011) show that for nonnegative (nonsymmetric) unconstrained
+submodular maximization, the uniformly random subset — include each element
+independently with probability 1/2 — is a 1/4 approximation.  The paper
+uses this as the quality floor:
+
+* **RS** (nonadaptive): flip a fair coin per target node, commit the whole
+  set at once.
+* **ARS** (adaptive): examine target nodes in order; flip a fair coin for
+  each *still-inactive* node, and when a node is selected, observe the
+  activation feedback and remove the activated nodes from the graph (they
+  are neither examined nor selected later).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.core.results import IterationRecord, NonadaptiveSelection, SeedingResult
+from repro.core.session import AdaptiveSession
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import require, require_probability
+
+
+class RandomSet:
+    """RS: nonadaptive uniformly random subset of the target set."""
+
+    name = "RS"
+
+    def __init__(
+        self,
+        target: Sequence[int],
+        selection_probability: float = 0.5,
+        random_state: RandomState = None,
+    ) -> None:
+        require(len(target) > 0, "target set must not be empty")
+        require_probability(selection_probability, "selection_probability")
+        self._target: List[int] = [int(v) for v in target]
+        self._probability = float(selection_probability)
+        self._rng = ensure_rng(random_state)
+
+    @property
+    def target(self) -> List[int]:
+        """The target candidate set."""
+        return list(self._target)
+
+    def select(
+        self, graph: ProbabilisticGraph, costs: Mapping[int, float]
+    ) -> NonadaptiveSelection:
+        """Pick each target node independently with the configured probability."""
+        timer = Timer().start()
+        seeds = [node for node in self._target if self._rng.random() < self._probability]
+        timer.stop()
+        seed_cost = sum(costs.get(node, 0.0) for node in seeds)
+        return NonadaptiveSelection(
+            algorithm=self.name,
+            seeds=seeds,
+            seed_cost=seed_cost,
+            runtime_seconds=timer.elapsed,
+            extra={"selection_probability": self._probability},
+        )
+
+
+class AdaptiveRandomSet:
+    """ARS: the adaptive random-set baseline described in Section VI-A."""
+
+    name = "ARS"
+
+    def __init__(
+        self,
+        target: Sequence[int],
+        selection_probability: float = 0.5,
+        random_state: RandomState = None,
+    ) -> None:
+        require(len(target) > 0, "target set must not be empty")
+        require_probability(selection_probability, "selection_probability")
+        self._target: List[int] = [int(v) for v in target]
+        self._probability = float(selection_probability)
+        self._rng = ensure_rng(random_state)
+
+    @property
+    def target(self) -> List[int]:
+        """The target candidate set, in examination order."""
+        return list(self._target)
+
+    def run(self, session: AdaptiveSession) -> SeedingResult:
+        """Examine the target in order, selecting inactive nodes by coin flip."""
+        timer = Timer().start()
+        selected: List[int] = []
+        iterations: List[IterationRecord] = []
+        for node in self._target:
+            if session.is_activated(node):
+                iterations.append(IterationRecord(node=node, action="skipped-activated"))
+                continue
+            if self._rng.random() < self._probability:
+                newly_activated = session.commit_seed(node)
+                selected.append(node)
+                iterations.append(
+                    IterationRecord(
+                        node=node, action="selected", newly_activated=len(newly_activated)
+                    )
+                )
+            else:
+                iterations.append(IterationRecord(node=node, action="rejected"))
+        timer.stop()
+        return SeedingResult(
+            algorithm=self.name,
+            seeds=selected,
+            realized_spread=session.realized_spread,
+            realized_profit=session.realized_profit,
+            seed_cost=session.seed_cost,
+            runtime_seconds=timer.elapsed,
+            iterations=iterations,
+            extra={"selection_probability": self._probability},
+        )

@@ -1,0 +1,118 @@
+"""Core algorithms of the paper: ADG, ADDATP, HATP, HNTP and their support.
+
+Typical usage::
+
+    from repro.core import AdaptiveSession, HATP, build_spread_calibrated_instance
+    from repro.diffusion import Realization
+    from repro.graphs import datasets
+
+    graph = datasets.load_proxy("nethept", nodes=500, random_state=0)
+    instance = build_spread_calibrated_instance(graph, k=25, random_state=0)
+    session = AdaptiveSession(graph, Realization.sample(graph, 1), instance.costs)
+    result = HATP(instance.target, random_state=2).run(session)
+    print(result.realized_profit)
+"""
+
+from repro.core.adg import ADG
+from repro.core.addatp import ADDATP
+from repro.core.costs import (
+    COST_SETTINGS,
+    CostAssignment,
+    degree_proportional_costs,
+    estimate_spread_lower_bound,
+    lambda_predefined_costs,
+    random_costs,
+    scale_costs,
+    spread_calibrated_costs,
+    uniform_costs,
+)
+from repro.core.errors import (
+    AdditiveErrorSchedule,
+    AdditiveErrorState,
+    DynamicThresholdState,
+    HybridErrorSchedule,
+    HybridErrorState,
+)
+from repro.core.hatp import HATP
+from repro.core.hntp import HNTP
+from repro.core.oracle import (
+    ExactSpreadOracle,
+    MonteCarloSpreadOracle,
+    ProfitOracle,
+    RISSpreadOracle,
+)
+from repro.core.policies import (
+    RealizationPolicy,
+    adaptive_algorithm_policy,
+    enumerate_realizations,
+    exact_policy_profit,
+    expected_policy_profit_sampled,
+    fixed_set_policy,
+    omniscient_profit_upper_bound,
+    optimal_nonadaptive_profit,
+    truncated_policy,
+)
+from repro.core.profit import (
+    CostMap,
+    profit_from_spread,
+    realized_profit,
+    realized_spread,
+    total_cost,
+    validate_costs,
+)
+from repro.core.results import IterationRecord, NonadaptiveSelection, SeedingResult
+from repro.core.session import AdaptiveSession, SeedingOutcome, run_adaptive_policy
+from repro.core.targets import (
+    TPMInstance,
+    build_predefined_cost_instance,
+    build_spread_calibrated_instance,
+)
+
+__all__ = [
+    "ADDATP",
+    "ADG",
+    "AdaptiveSession",
+    "AdditiveErrorSchedule",
+    "AdditiveErrorState",
+    "COST_SETTINGS",
+    "CostAssignment",
+    "CostMap",
+    "DynamicThresholdState",
+    "ExactSpreadOracle",
+    "HATP",
+    "HNTP",
+    "HybridErrorSchedule",
+    "HybridErrorState",
+    "IterationRecord",
+    "MonteCarloSpreadOracle",
+    "NonadaptiveSelection",
+    "ProfitOracle",
+    "RISSpreadOracle",
+    "RealizationPolicy",
+    "SeedingOutcome",
+    "SeedingResult",
+    "TPMInstance",
+    "adaptive_algorithm_policy",
+    "build_predefined_cost_instance",
+    "build_spread_calibrated_instance",
+    "degree_proportional_costs",
+    "enumerate_realizations",
+    "estimate_spread_lower_bound",
+    "exact_policy_profit",
+    "expected_policy_profit_sampled",
+    "fixed_set_policy",
+    "lambda_predefined_costs",
+    "omniscient_profit_upper_bound",
+    "optimal_nonadaptive_profit",
+    "profit_from_spread",
+    "random_costs",
+    "realized_profit",
+    "realized_spread",
+    "run_adaptive_policy",
+    "scale_costs",
+    "spread_calibrated_costs",
+    "total_cost",
+    "truncated_policy",
+    "uniform_costs",
+    "validate_costs",
+]

@@ -1,0 +1,201 @@
+"""Spread and profit oracles.
+
+The paper analyses ADG in the *oracle model*: the expected spread of any
+node set on any residual graph is assumed to be available in ``O(1)``.
+That model is a theoretical device (exact spread computation is #P-hard),
+so this module offers three interchangeable oracle implementations:
+
+* :class:`ExactSpreadOracle` — possible-world enumeration; exact, but only
+  feasible for unit-test-sized graphs.
+* :class:`MonteCarloSpreadOracle` — averages forward IC simulations with
+  common random numbers for marginals.
+* :class:`RISSpreadOracle` — generates a fresh batch of RR sets per query;
+  the cheapest option on medium graphs.
+
+:class:`ProfitOracle` layers seeding costs on top of any spread oracle so
+the oracle-model algorithm (:class:`repro.core.adg.ADG`) can query expected
+marginal *profits* directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Protocol
+
+from repro.core.profit import total_cost
+from repro.diffusion.spread import (
+    exact_expected_spread,
+    monte_carlo_marginal_spread,
+    monte_carlo_spread,
+)
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph, as_residual
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class SpreadOracle(Protocol):
+    """Anything that can answer expected-spread queries on residual graphs."""
+
+    def expected_spread(
+        self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
+    ) -> float:
+        """Expected spread ``E[I_G(S)]`` of ``seeds`` on ``graph``."""
+        ...
+
+    def marginal_spread(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        conditioning_set: Iterable[int],
+    ) -> float:
+        """Conditional expected marginal spread ``E[I_G(u | S)]``."""
+        ...
+
+
+class ExactSpreadOracle:
+    """Exact oracle by possible-world enumeration (tiny graphs only).
+
+    Queries are memoised on ``(residual state, seed set)`` because analyses
+    such as the exact policy-profit computation re-ask the same questions for
+    every enumerated realization; the cache turns those repeated enumerations
+    into dictionary lookups.
+    """
+
+    def __init__(self, max_edges: int = 20, cache: bool = True) -> None:
+        self._max_edges = int(max_edges)
+        self._cache: dict | None = {} if cache else None
+
+    def _cache_key(self, graph, seeds: frozenset):
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        return (id(view.base), view.active_mask.tobytes(), seeds)
+
+    def expected_spread(
+        self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
+    ) -> float:
+        seed_key = frozenset(int(v) for v in seeds)
+        if self._cache is None:
+            return exact_expected_spread(graph, seed_key, self._max_edges)
+        key = self._cache_key(graph, seed_key)
+        if key not in self._cache:
+            self._cache[key] = exact_expected_spread(graph, seed_key, self._max_edges)
+        return self._cache[key]
+
+    def marginal_spread(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        conditioning_set: Iterable[int],
+    ) -> float:
+        conditioning = {int(v) for v in conditioning_set}
+        node = int(node)
+        if node in conditioning:
+            return 0.0
+        with_node = self.expected_spread(graph, conditioning | {node})
+        without_node = self.expected_spread(graph, conditioning) if conditioning else 0.0
+        return with_node - without_node
+
+
+class MonteCarloSpreadOracle:
+    """Monte-Carlo oracle averaging forward IC cascades."""
+
+    def __init__(self, num_simulations: int = 1000, random_state: RandomState = None) -> None:
+        self._num_simulations = int(num_simulations)
+        self._rng = ensure_rng(random_state)
+
+    @property
+    def num_simulations(self) -> int:
+        """Cascades per query."""
+        return self._num_simulations
+
+    def expected_spread(
+        self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
+    ) -> float:
+        return monte_carlo_spread(graph, seeds, self._num_simulations, self._rng)
+
+    def marginal_spread(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        conditioning_set: Iterable[int],
+    ) -> float:
+        return monte_carlo_marginal_spread(
+            graph, node, conditioning_set, self._num_simulations, self._rng
+        )
+
+
+class RISSpreadOracle:
+    """RIS-based oracle: a fresh RR batch per query (unbiased, cheap)."""
+
+    def __init__(self, num_samples: int = 2000, random_state: RandomState = None) -> None:
+        self._num_samples = int(num_samples)
+        self._rng = ensure_rng(random_state)
+
+    @property
+    def num_samples(self) -> int:
+        """RR sets per query."""
+        return self._num_samples
+
+    def expected_spread(
+        self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
+    ) -> float:
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        collection = RRCollection.generate(view, self._num_samples, self._rng)
+        return collection.estimate_spread(seeds)
+
+    def marginal_spread(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        conditioning_set: Iterable[int],
+    ) -> float:
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        collection = RRCollection.generate(view, self._num_samples, self._rng)
+        return collection.estimate_marginal_spread(node, conditioning_set)
+
+
+class ProfitOracle:
+    """Expected-profit oracle: a spread oracle plus a node-cost mapping.
+
+    Implements Definition 3 of the paper: the conditional expected marginal
+    profit ``∆_G(u | S) = E[I_G(u | S)] − c(u)`` for ``u ∉ S`` and ``0``
+    otherwise.
+    """
+
+    def __init__(self, spread_oracle: SpreadOracle, costs: Mapping[int, float]) -> None:
+        self._spread_oracle = spread_oracle
+        self._costs: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
+
+    @property
+    def spread_oracle(self) -> SpreadOracle:
+        """The underlying spread oracle."""
+        return self._spread_oracle
+
+    @property
+    def costs(self) -> Dict[int, float]:
+        """The node-cost mapping."""
+        return self._costs
+
+    def cost(self, nodes: Iterable[int]) -> float:
+        """Total seeding cost of ``nodes``."""
+        return total_cost(self._costs, nodes)
+
+    def expected_profit(
+        self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
+    ) -> float:
+        """``ρ_G(S) = E[I_G(S)] − c(S)``."""
+        seeds = [int(v) for v in seeds]
+        return self._spread_oracle.expected_spread(graph, seeds) - self.cost(seeds)
+
+    def marginal_profit(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        conditioning_set: Iterable[int],
+    ) -> float:
+        """``∆_G(u | S)`` per Definition 3 (0 when ``u`` already in ``S``)."""
+        node = int(node)
+        conditioning = {int(v) for v in conditioning_set}
+        if node in conditioning:
+            return 0.0
+        marginal = self._spread_oracle.marginal_spread(graph, node, conditioning)
+        return marginal - self._costs.get(node, 0.0)

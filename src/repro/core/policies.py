@@ -1,0 +1,242 @@
+"""Policy abstractions and the policy algebra used in the paper's analysis.
+
+Two views of a "policy" coexist:
+
+* **Operational** — an adaptive algorithm exposing ``run(session)``; this is
+  what ADG / ADDATP / HATP / ARS implement and what the experiments execute.
+* **Analytical** — a mapping ``φ ↦ S_φ(π)`` from realizations to the seed
+  set the policy ends up selecting under that realization.  The paper's
+  proofs manipulate policies in this second view through three operators
+  (Definitions 4–6): *truncation* ``π[i]``, *concatenation* ``π ⊕ π'`` and
+  *intersection* ``π ⊗ π'`` with
+  ``S_φ(π ⊕ π') = S_φ(π) ∪ S_φ(π')`` and
+  ``S_φ(π ⊗ π') = S_φ(π) ∩ S_φ(π')``.
+
+This module implements the analytical view so the theoretical statements
+(Lemma 3, Theorem 1, the adaptivity gap) can be *checked numerically* on
+small instances: expected policy profits ``Λ(π)`` are computed exactly by
+enumerating all realizations of a small graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Protocol, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.profit import total_cost
+from repro.core.results import SeedingResult
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import BaseRealization, Realization
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+from repro.utils.validation import require
+
+
+class AdaptivePolicy(Protocol):
+    """Operational policy interface: every adaptive algorithm satisfies it."""
+
+    name: str
+
+    def run(self, session: AdaptiveSession) -> SeedingResult:
+        """Run the policy against an adaptive session."""
+        ...
+
+
+class RealizationPolicy:
+    """Analytical policy: a function from realization to selected seed set."""
+
+    def __init__(self, select: Callable[[BaseRealization], Set[int]], name: str = "policy") -> None:
+        self._select = select
+        self.name = name
+
+    def seed_set(self, realization: BaseRealization) -> Set[int]:
+        """``S_φ(π)`` — the seeds the policy selects under ``realization``."""
+        return set(self._select(realization))
+
+    # -------------------------- policy algebra ------------------------- #
+
+    def concatenate(self, other: "RealizationPolicy") -> "RealizationPolicy":
+        """Policy concatenation ``π ⊕ π'`` (Definition 5): union of seed sets."""
+        return RealizationPolicy(
+            lambda phi: self.seed_set(phi) | other.seed_set(phi),
+            name=f"({self.name})⊕({other.name})",
+        )
+
+    def intersect(self, other: "RealizationPolicy") -> "RealizationPolicy":
+        """Policy intersection ``π ⊗ π'`` (Definition 6): intersection of seed sets."""
+        return RealizationPolicy(
+            lambda phi: self.seed_set(phi) & other.seed_set(phi),
+            name=f"({self.name})⊗({other.name})",
+        )
+
+    def __or__(self, other: "RealizationPolicy") -> "RealizationPolicy":
+        return self.concatenate(other)
+
+    def __and__(self, other: "RealizationPolicy") -> "RealizationPolicy":
+        return self.intersect(other)
+
+
+def fixed_set_policy(seed_set: Iterable[int], name: str = "fixed") -> RealizationPolicy:
+    """A (nonadaptive) policy that always selects the same seed set."""
+    frozen = {int(v) for v in seed_set}
+    return RealizationPolicy(lambda _phi: set(frozen), name=name)
+
+
+def adaptive_algorithm_policy(
+    algorithm_factory: Callable[[], AdaptivePolicy],
+    graph: ProbabilisticGraph,
+    costs: Mapping[int, float],
+    name: str = "adaptive",
+) -> RealizationPolicy:
+    """Wrap an operational algorithm as an analytical policy.
+
+    Each evaluation builds a fresh session on the given realization and runs
+    a fresh algorithm instance (obtained from ``algorithm_factory``), so
+    stochastic algorithms should be given a deterministic factory when exact
+    expectations are required.
+    """
+
+    def _select(realization: BaseRealization) -> Set[int]:
+        session = AdaptiveSession(graph, realization, costs)
+        result = algorithm_factory().run(session)
+        return set(result.seeds)
+
+    return RealizationPolicy(_select, name=name)
+
+
+def truncated_policy(
+    algorithm_factory: Callable[[Sequence[int]], AdaptivePolicy],
+    graph: ProbabilisticGraph,
+    costs: Mapping[int, float],
+    target: Sequence[int],
+    level: int,
+    name: str = "truncated",
+) -> RealizationPolicy:
+    """Policy truncation ``π[i]`` (Definition 4) for target-scanning policies.
+
+    The truncated policy behaves exactly like the original but only examines
+    the first ``level`` nodes of ``target``.  ``algorithm_factory`` receives
+    the truncated examination order and must return a fresh algorithm
+    instance restricted to it.
+    """
+    require(0 <= level <= len(target), "level must be within the target size")
+    truncated_target = [int(v) for v in target[:level]]
+
+    def _select(realization: BaseRealization) -> Set[int]:
+        if not truncated_target:
+            return set()
+        session = AdaptiveSession(graph, realization, costs)
+        result = algorithm_factory(truncated_target).run(session)
+        return set(result.seeds)
+
+    return RealizationPolicy(_select, name=f"{name}[{level}]")
+
+
+# --------------------------------------------------------------------------- #
+# exact expectations on small graphs
+# --------------------------------------------------------------------------- #
+
+
+def enumerate_realizations(
+    graph: ProbabilisticGraph, max_edges: int = 16
+) -> List[Tuple[Realization, float]]:
+    """All possible worlds of ``graph`` with their probabilities.
+
+    Guarded by ``max_edges`` since the enumeration is exponential in the
+    number of edges.
+    """
+    if graph.m > max_edges:
+        raise ValidationError(
+            f"realization enumeration requires <= {max_edges} edges, got {graph.m}"
+        )
+    _, _, probs = graph.edge_array()
+    worlds: List[Tuple[Realization, float]] = []
+    for pattern in itertools.product([False, True], repeat=graph.m):
+        live = np.asarray(pattern, dtype=bool)
+        probability = float(
+            np.prod(np.where(live, probs, 1.0 - probs)) if graph.m else 1.0
+        )
+        if probability > 0.0:
+            worlds.append((Realization(graph, live), probability))
+    return worlds
+
+
+def exact_policy_profit(
+    policy: RealizationPolicy,
+    graph: ProbabilisticGraph,
+    costs: Mapping[int, float],
+    max_edges: int = 16,
+) -> float:
+    """``Λ(π)``: the exact expected profit of ``policy`` (Definition 1)."""
+    total = 0.0
+    for realization, probability in enumerate_realizations(graph, max_edges):
+        seeds = policy.seed_set(realization)
+        spread = realization.spread(seeds)
+        total += probability * (spread - total_cost(costs, seeds))
+    return total
+
+
+def optimal_nonadaptive_profit(
+    graph: ProbabilisticGraph,
+    target: Sequence[int],
+    costs: Mapping[int, float],
+    max_edges: int = 16,
+) -> Tuple[float, Set[int]]:
+    """Best fixed subset of ``target`` by exact expected profit (brute force)."""
+    worlds = enumerate_realizations(graph, max_edges)
+    target = [int(v) for v in target]
+    best_value, best_set = float("-inf"), set()
+    for size in range(len(target) + 1):
+        for combo in itertools.combinations(target, size):
+            seeds = set(combo)
+            value = sum(
+                probability * (realization.spread(seeds) - total_cost(costs, seeds))
+                for realization, probability in worlds
+            )
+            if value > best_value:
+                best_value, best_set = value, seeds
+    return best_value, best_set
+
+
+def omniscient_profit_upper_bound(
+    graph: ProbabilisticGraph,
+    target: Sequence[int],
+    costs: Mapping[int, float],
+    max_edges: int = 16,
+) -> float:
+    """Expected profit of the omniscient policy (best subset per realization).
+
+    The omniscient policy sees the realization before choosing, so its value
+    upper-bounds the optimal adaptive policy ``Λ(π^opt)``; useful for
+    sandwiching approximation-ratio checks on small instances.
+    """
+    worlds = enumerate_realizations(graph, max_edges)
+    target = [int(v) for v in target]
+    total = 0.0
+    for realization, probability in worlds:
+        best = 0.0
+        for size in range(len(target) + 1):
+            for combo in itertools.combinations(target, size):
+                seeds = set(combo)
+                value = realization.spread(seeds) - total_cost(costs, seeds)
+                best = max(best, value)
+        total += probability * best
+    return total
+
+
+def expected_policy_profit_sampled(
+    policy: RealizationPolicy,
+    graph: ProbabilisticGraph,
+    costs: Mapping[int, float],
+    realizations: Sequence[BaseRealization],
+) -> float:
+    """Monte-Carlo estimate of ``Λ(π)`` over a fixed family of realizations."""
+    if not realizations:
+        return 0.0
+    total = 0.0
+    for realization in realizations:
+        seeds = policy.seed_set(realization)
+        total += realization.spread(seeds) - total_cost(costs, seeds)
+    return total / len(realizations)

@@ -1,0 +1,62 @@
+"""Profit functions: ``ρ(S) = E[I(S)] − c(S)`` and realized counterparts.
+
+The profit function is a positive linear combination of a monotone
+submodular function (the expected spread) and a negative modular function
+(the seeding cost), hence submodular but in general non-monotone — the
+reason the paper attacks the problem with (adaptive) *double greedy* rather
+than the plain greedy used for influence maximization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.diffusion.realization import BaseRealization
+from repro.graphs.residual import ResidualGraph
+from repro.utils.validation import require_non_negative
+
+#: Type alias for node-cost mappings.
+CostMap = Dict[int, float]
+
+
+def total_cost(costs: Mapping[int, float], nodes: Iterable[int]) -> float:
+    """``c(S)``: the total seeding cost of ``nodes``.
+
+    Nodes absent from ``costs`` are free — only target nodes carry a cost.
+    """
+    return float(sum(costs.get(int(v), 0.0) for v in nodes))
+
+
+def validate_costs(costs: Mapping[int, float]) -> CostMap:
+    """Validate that every cost is non-negative and return a plain dict copy."""
+    validated: CostMap = {}
+    for node, cost in costs.items():
+        require_non_negative(cost, f"cost of node {node}")
+        validated[int(node)] = float(cost)
+    return validated
+
+
+def profit_from_spread(spread: float, nodes: Iterable[int], costs: Mapping[int, float]) -> float:
+    """``ρ(S)`` given an (expected or realized) spread value for ``S``."""
+    return float(spread) - total_cost(costs, nodes)
+
+
+def realized_profit(
+    realization: BaseRealization,
+    seeds: Iterable[int],
+    costs: Mapping[int, float],
+    residual: Optional[ResidualGraph] = None,
+) -> float:
+    """``ρ_φ(S) = I_φ(S) − c(S)``: the profit under one fixed realization."""
+    seeds = [int(v) for v in seeds]
+    spread = realization.spread(seeds, residual)
+    return profit_from_spread(spread, seeds, costs)
+
+
+def realized_spread(
+    realization: BaseRealization,
+    seeds: Iterable[int],
+    residual: Optional[ResidualGraph] = None,
+) -> int:
+    """``I_φ(S)``: the spread of ``seeds`` under one fixed realization."""
+    return realization.spread([int(v) for v in seeds], residual)

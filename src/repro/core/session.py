@@ -1,0 +1,211 @@
+"""The adaptive seeding session: the feedback loop between policy and market.
+
+An adaptive policy interacts with the (unknown) realization through a
+well-defined protocol:
+
+1. It examines candidate nodes in some order.
+2. When it *commits* to a seed ``u`` it pays ``c(u)`` and immediately
+   observes ``A(u)`` — every node that ``u`` activates under the true
+   realization, restricted to the current residual graph.
+3. The activated nodes are removed from the residual graph before the next
+   decision.
+
+:class:`AdaptiveSession` encapsulates exactly this protocol.  Algorithms
+never touch the realization directly; they only see the residual graph and
+the feedback returned by :meth:`AdaptiveSession.commit_seed`, which is what
+makes the implementation faithful to the paper's adaptive model (and keeps
+"cheating" impossible by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.core.profit import total_cost
+from repro.diffusion.realization import BaseRealization, Realization
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import RandomState
+
+
+class AdaptiveSession:
+    """State of one adaptive seeding run against one hidden realization.
+
+    Parameters
+    ----------
+    graph:
+        The full social graph ``G``.
+    realization:
+        The hidden possible world the market follows.  Policies must not
+        inspect it; they only receive feedback through :meth:`commit_seed`.
+    costs:
+        Node-cost mapping (only target nodes need entries).
+    """
+
+    def __init__(
+        self,
+        graph: ProbabilisticGraph,
+        realization: BaseRealization,
+        costs: Mapping[int, float],
+    ) -> None:
+        if realization.graph is not graph:
+            # Allow equal graphs (e.g. reconstructed), but insist on same size.
+            if realization.graph.n != graph.n or realization.graph.m != graph.m:
+                raise ValidationError(
+                    "realization was sampled on a different graph than the session's"
+                )
+        self._graph = graph
+        self._realization = realization
+        self._costs: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
+        self._residual = ResidualGraph(graph)
+        self._seeds: List[int] = []
+        self._activated: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # factory helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def with_sampled_realization(
+        cls,
+        graph: ProbabilisticGraph,
+        costs: Mapping[int, float],
+        random_state: RandomState = None,
+    ) -> "AdaptiveSession":
+        """Create a session with a freshly sampled realization."""
+        return cls(graph, Realization.sample(graph, random_state), costs)
+
+    # ------------------------------------------------------------------ #
+    # read-only state available to policies
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> ProbabilisticGraph:
+        """The full graph ``G``."""
+        return self._graph
+
+    @property
+    def residual(self) -> ResidualGraph:
+        """The current residual graph ``G_i`` (activated nodes removed)."""
+        return self._residual
+
+    @property
+    def costs(self) -> Dict[int, float]:
+        """The node-cost mapping."""
+        return self._costs
+
+    @property
+    def seeds(self) -> List[int]:
+        """Seeds committed so far, in order."""
+        return list(self._seeds)
+
+    @property
+    def activated(self) -> Set[int]:
+        """All nodes activated so far (seeds included)."""
+        return set(self._activated)
+
+    def is_activated(self, node: int) -> bool:
+        """Whether ``node`` has already been activated (directly or virally)."""
+        return int(node) in self._activated
+
+    def cost_of(self, nodes: Iterable[int]) -> float:
+        """Total cost of ``nodes``."""
+        return total_cost(self._costs, nodes)
+
+    # ------------------------------------------------------------------ #
+    # realized outcome
+    # ------------------------------------------------------------------ #
+
+    @property
+    def realized_spread(self) -> int:
+        """Number of nodes activated so far."""
+        return len(self._activated)
+
+    @property
+    def seed_cost(self) -> float:
+        """Total cost paid for the committed seeds."""
+        return total_cost(self._costs, self._seeds)
+
+    @property
+    def realized_profit(self) -> float:
+        """Realized profit so far: activated nodes minus seed costs."""
+        return self.realized_spread - self.seed_cost
+
+    # ------------------------------------------------------------------ #
+    # the feedback protocol
+    # ------------------------------------------------------------------ #
+
+    def commit_seed(self, node: int) -> Set[int]:
+        """Commit ``node`` as a seed, observe and apply the market feedback.
+
+        Returns ``A(node)`` — the set of nodes newly activated by this seed
+        under the hidden realization (including the seed itself).  The
+        residual graph is updated by removing them.
+
+        Raises
+        ------
+        ValidationError
+            If ``node`` has already been activated or is not a valid node.
+        """
+        node = int(node)
+        if node < 0 or node >= self._graph.n:
+            raise ValidationError(f"{node} is not a valid node id")
+        if node in self._activated:
+            raise ValidationError(
+                f"node {node} is already activated and cannot be seeded again"
+            )
+        newly_activated = self._realization.activated_by([node], self._residual)
+        self._seeds.append(node)
+        self._activated.update(newly_activated)
+        self._residual = self._residual.without(newly_activated)
+        return newly_activated
+
+    def evaluate_nonadaptive(self, seeds: Iterable[int]) -> "SeedingOutcome":
+        """Evaluate a nonadaptively chosen seed set under this realization.
+
+        Does not mutate the session.  Used to score NSG / NDG / HNTP and the
+        Baseline (= the full target set) against the same possible worlds
+        the adaptive algorithms face.
+        """
+        seeds = [int(v) for v in seeds]
+        spread = self._realization.spread(seeds)
+        cost = total_cost(self._costs, seeds)
+        return SeedingOutcome(seeds=seeds, spread=spread, cost=cost)
+
+
+class SeedingOutcome:
+    """Spread / cost / profit of one seed set under one realization."""
+
+    __slots__ = ("seeds", "spread", "cost")
+
+    def __init__(self, seeds: List[int], spread: float, cost: float) -> None:
+        self.seeds = seeds
+        self.spread = float(spread)
+        self.cost = float(cost)
+
+    @property
+    def profit(self) -> float:
+        """``I_φ(S) − c(S)``."""
+        return self.spread - self.cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SeedingOutcome seeds={len(self.seeds)} spread={self.spread:.1f} "
+            f"profit={self.profit:.1f}>"
+        )
+
+
+def run_adaptive_policy(
+    policy,
+    graph: ProbabilisticGraph,
+    realization: BaseRealization,
+    costs: Mapping[int, float],
+):
+    """Convenience: build a session and run ``policy`` on it.
+
+    ``policy`` must expose ``run(session) -> SeedingResult`` (all adaptive
+    algorithms in :mod:`repro.core` and :mod:`repro.baselines` do).
+    """
+    session = AdaptiveSession(graph, realization, costs)
+    return policy.run(session)

@@ -1,0 +1,171 @@
+"""Target-set construction: the two experimental procedures of Section VI-A.
+
+**Procedure 1 (spread-calibrated)** — pick the top-``k`` influential nodes
+as the target set ``T``, then set the total cost ``c(T)`` to a lower bound
+of ``E[I(T)]`` and distribute it by one of the cost settings
+(degree-proportional / uniform / random).
+
+**Procedure 2 (predefined costs)** — first assign every node in the graph a
+cost controlled by the ratio ``λ = c(V)/n``, then run a nonadaptive profit
+algorithm (NDG or NSG) over the whole graph; its output becomes the target
+set ``T`` that the adaptive algorithms subsequently refine.
+
+Both procedures return a :class:`TPMInstance`, the bundle the adaptive and
+nonadaptive algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.imm import top_k_influential
+from repro.baselines.ndg import NDG
+from repro.baselines.nsg import NSG
+from repro.core.costs import (
+    CostAssignment,
+    lambda_predefined_costs,
+    spread_calibrated_costs,
+)
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class TPMInstance:
+    """One target-profit-maximization problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The social graph ``G``.
+    target:
+        The target candidate set ``T`` (in examination order).
+    cost_assignment:
+        Per-node costs, including provenance metadata.
+    metadata:
+        How the instance was constructed (procedure, k, λ, ...).
+    """
+
+    graph: ProbabilisticGraph
+    target: List[int]
+    cost_assignment: CostAssignment
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def costs(self) -> Dict[int, float]:
+        """Plain node-cost mapping (what the algorithms consume)."""
+        return self.cost_assignment.costs
+
+    @property
+    def k(self) -> int:
+        """Size of the target set."""
+        return len(self.target)
+
+    def target_cost(self) -> float:
+        """``c(T)``: total cost of the whole target set."""
+        return self.cost_assignment.cost_of(self.target)
+
+
+def build_spread_calibrated_instance(
+    graph: ProbabilisticGraph,
+    k: int,
+    cost_setting: str = "degree",
+    num_rr_sets: int = 5000,
+    random_state: RandomState = None,
+) -> TPMInstance:
+    """Procedure 1: top-``k`` influential target with spread-calibrated costs.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    k:
+        Target-set size (the paper sweeps {10, 25, 50, 100, 200, 500}).
+    cost_setting:
+        ``"degree"``, ``"uniform"``, or ``"random"``.
+    num_rr_sets:
+        Sample size for both the top-``k`` selection and the spread
+        lower bound.
+    """
+    require_positive(k, "k")
+    require(k <= graph.n, "k cannot exceed the number of nodes")
+    rng = ensure_rng(random_state)
+    target = top_k_influential(graph, k, num_samples=num_rr_sets, random_state=rng)
+    assignment = spread_calibrated_costs(
+        graph, target, setting=cost_setting, num_rr_sets=num_rr_sets, random_state=rng
+    )
+    return TPMInstance(
+        graph=graph,
+        target=target,
+        cost_assignment=assignment,
+        metadata={"procedure": "spread-calibrated", "k": k, "cost_setting": cost_setting},
+    )
+
+
+def build_predefined_cost_instance(
+    graph: ProbabilisticGraph,
+    cost_ratio: float,
+    cost_setting: str = "degree",
+    selector: str = "ndg",
+    num_samples: int = 5000,
+    max_target_size: Optional[int] = None,
+    random_state: RandomState = None,
+) -> TPMInstance:
+    """Procedure 2: λ-predefined costs, target chosen by NDG or NSG.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    cost_ratio:
+        The paper's λ = c(V)/n (smaller λ → cheaper nodes → larger targets).
+    cost_setting:
+        ``"degree"``, ``"uniform"``, or ``"random"``.
+    selector:
+        ``"ndg"`` or ``"nsg"`` — which nonadaptive algorithm derives ``T``.
+    num_samples:
+        RR-set batch for the selector.
+    max_target_size:
+        Optional cap on ``|T|`` (keeps the adaptive refinement tractable on
+        the proxy graphs; the highest-degree members are kept).
+    """
+    rng = ensure_rng(random_state)
+    assignment = lambda_predefined_costs(
+        graph, cost_ratio, setting=cost_setting, random_state=rng
+    )
+    all_nodes = list(range(graph.n))
+    if selector == "ndg":
+        selection = NDG(all_nodes, num_samples=num_samples, random_state=rng).select(
+            graph, assignment.costs
+        )
+    elif selector == "nsg":
+        selection = NSG(all_nodes, num_samples=num_samples, random_state=rng).select(
+            graph, assignment.costs
+        )
+    else:
+        raise ConfigurationError(f"selector must be 'ndg' or 'nsg', got {selector!r}")
+
+    target = list(selection.seeds)
+    if not target:
+        # Fall back to the most influential nodes so downstream algorithms
+        # always have something to refine (can happen when λ is set too high
+        # for a small proxy graph).
+        target = top_k_influential(graph, min(10, graph.n), num_samples, rng)
+    if max_target_size is not None and len(target) > max_target_size:
+        target = sorted(target, key=lambda v: -graph.out_degree(v))[:max_target_size]
+
+    return TPMInstance(
+        graph=graph,
+        target=target,
+        cost_assignment=assignment.restricted_to(target),
+        metadata={
+            "procedure": "lambda-predefined",
+            "lambda": cost_ratio,
+            "cost_setting": cost_setting,
+            "selector": selector,
+            "selector_target_size": len(selection.seeds),
+        },
+    )

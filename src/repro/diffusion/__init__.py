@@ -1,0 +1,45 @@
+"""Diffusion substrate: IC / LT simulation, realizations, spread estimation."""
+
+from repro.diffusion.ic_model import (
+    cascade_trace,
+    observe_activation,
+    simulate_ic,
+    simulate_ic_spread,
+)
+from repro.diffusion.lt_model import simulate_lt, simulate_lt_spread, validate_lt_weights
+from repro.diffusion.realization import (
+    BaseRealization,
+    LazyRealization,
+    Realization,
+    sample_realizations,
+)
+from repro.diffusion.spread import (
+    MAX_EXACT_EDGES,
+    exact_expected_spread,
+    exact_marginal_spread,
+    expected_spread_lower_bound,
+    monte_carlo_marginal_spread,
+    monte_carlo_spread,
+    monte_carlo_spread_samples,
+)
+
+__all__ = [
+    "BaseRealization",
+    "LazyRealization",
+    "MAX_EXACT_EDGES",
+    "Realization",
+    "cascade_trace",
+    "exact_expected_spread",
+    "exact_marginal_spread",
+    "expected_spread_lower_bound",
+    "monte_carlo_marginal_spread",
+    "monte_carlo_spread",
+    "monte_carlo_spread_samples",
+    "observe_activation",
+    "sample_realizations",
+    "simulate_ic",
+    "simulate_ic_spread",
+    "simulate_lt",
+    "simulate_lt_spread",
+    "validate_lt_weights",
+]

@@ -1,0 +1,88 @@
+"""Reachability primitives over live-edge subgraphs.
+
+These are the BFS building blocks shared by forward diffusion, realization
+spread computation, and reverse-reachable (RR) set sampling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Set
+
+from repro.graphs.residual import ResidualGraph
+
+
+def forward_reachable(
+    view: ResidualGraph,
+    sources: Iterable[int],
+    edge_is_live: Callable[[int], bool],
+) -> Set[int]:
+    """Nodes reachable from ``sources`` following live outgoing edges."""
+    reached: Set[int] = set()
+    queue: deque[int] = deque()
+    for source in sources:
+        source = int(source)
+        if view.is_active(source) and source not in reached:
+            reached.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        targets, _, edge_ids = view.out_neighbors(node)
+        for target, edge_id in zip(targets.tolist(), edge_ids.tolist()):
+            if target not in reached and edge_is_live(edge_id):
+                reached.add(target)
+                queue.append(target)
+    return reached
+
+
+def reverse_reachable(
+    view: ResidualGraph,
+    root: int,
+    edge_is_live: Callable[[int], bool],
+) -> Set[int]:
+    """Nodes that can reach ``root`` following live edges backwards.
+
+    This is exactly the definition of a reverse-reachable (RR) set rooted at
+    ``root`` once ``edge_is_live`` flips each incoming edge with its
+    probability (Borgs et al., 2014).
+    """
+    root = int(root)
+    if not view.is_active(root):
+        return set()
+    reached: Set[int] = {root}
+    queue: deque[int] = deque([root])
+    while queue:
+        node = queue.popleft()
+        sources, _, edge_ids = view.in_neighbors(node)
+        for source, edge_id in zip(sources.tolist(), edge_ids.tolist()):
+            if source not in reached and edge_is_live(edge_id):
+                reached.add(source)
+                queue.append(source)
+    return reached
+
+
+def is_reachable(
+    view: ResidualGraph,
+    source: int,
+    target: int,
+    edge_is_live: Callable[[int], bool],
+) -> bool:
+    """Whether ``target`` is reachable from ``source`` through live edges."""
+    source, target = int(source), int(target)
+    if not (view.is_active(source) and view.is_active(target)):
+        return False
+    if source == target:
+        return True
+    reached: Set[int] = {source}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        targets, _, edge_ids = view.out_neighbors(node)
+        for neighbor, edge_id in zip(targets.tolist(), edge_ids.tolist()):
+            if neighbor in reached or not edge_is_live(edge_id):
+                continue
+            if neighbor == target:
+                return True
+            reached.add(neighbor)
+            queue.append(neighbor)
+    return False

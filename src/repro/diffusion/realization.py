@@ -1,0 +1,201 @@
+"""Realizations (possible worlds) of a probabilistic graph.
+
+A *realization* ``φ`` fixes the outcome of every edge's coin flip: each edge
+``e`` is *live* with probability ``p(e)`` and *blocked* otherwise
+(Section II-A of the paper).  Under a fixed realization the spread of a seed
+set ``S`` is simply the set of nodes reachable from ``S`` through live
+edges.
+
+Two implementations are provided:
+
+* :class:`Realization` — eagerly samples the state of all ``m`` edges.  This
+  is simple and fast for the proxy graph sizes used in the benchmarks.
+* :class:`LazyRealization` — samples edge states on first use and memoises
+  them.  Adaptive seeding only ever inspects edges reachable from the chosen
+  seeds, so laziness saves a lot of work on large graphs while remaining
+  *consistent*: once flipped, an edge's state never changes.
+
+Both classes expose the same interface and both are deterministic functions
+of the provided random generator, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph, as_residual
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class BaseRealization:
+    """Interface shared by eager and lazy realizations."""
+
+    #: The graph this realization belongs to.
+    graph: ProbabilisticGraph
+
+    def is_live(self, edge_id: int) -> bool:
+        """Whether the directed edge with ``edge_id`` is live under φ."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # spread under the realization
+    # ------------------------------------------------------------------ #
+
+    def activated_by(
+        self,
+        seeds: Iterable[int],
+        residual: Optional[ResidualGraph] = None,
+    ) -> Set[int]:
+        """Nodes activated when ``seeds`` are selected under this realization.
+
+        Traversal is restricted to the *active* nodes of ``residual`` when
+        given (the adaptive feedback of the paper: already-activated nodes
+        neither propagate nor count again).  Seeds that are inactive in the
+        residual graph are ignored.
+
+        Returns the full activated set **including** the seeds themselves.
+        """
+        view = as_residual(self.graph) if residual is None else residual
+        activated: Set[int] = set()
+        queue: deque[int] = deque()
+        for seed in seeds:
+            seed = int(seed)
+            if view.is_active(seed) and seed not in activated:
+                activated.add(seed)
+                queue.append(seed)
+        while queue:
+            node = queue.popleft()
+            targets, _, edge_ids = view.out_neighbors(node)
+            for target, edge_id in zip(targets.tolist(), edge_ids.tolist()):
+                if target in activated:
+                    continue
+                if self.is_live(edge_id):
+                    activated.add(target)
+                    queue.append(target)
+        return activated
+
+    def spread(
+        self,
+        seeds: Iterable[int],
+        residual: Optional[ResidualGraph] = None,
+    ) -> int:
+        """``I_φ(S)``: the number of nodes activated by ``seeds`` under φ."""
+        return len(self.activated_by(seeds, residual))
+
+
+class Realization(BaseRealization):
+    """Eagerly sampled possible world: one Bernoulli flip per edge."""
+
+    __slots__ = ("graph", "_live")
+
+    def __init__(self, graph: ProbabilisticGraph, live_edges: np.ndarray) -> None:
+        live = np.asarray(live_edges, dtype=bool)
+        if live.shape != (graph.m,):
+            raise ValueError(
+                f"live_edges must have shape ({graph.m},), got {live.shape}"
+            )
+        self.graph = graph
+        self._live = live
+
+    @classmethod
+    def sample(
+        cls, graph: ProbabilisticGraph, random_state: RandomState = None
+    ) -> "Realization":
+        """Sample a realization: edge ``e`` is live with probability ``p(e)``."""
+        rng = ensure_rng(random_state)
+        _, _, probs = graph.edge_array()
+        live = rng.random(graph.m) < probs if graph.m else np.zeros(0, dtype=bool)
+        return cls(graph, live)
+
+    @classmethod
+    def from_live_edge_ids(
+        cls, graph: ProbabilisticGraph, live_edge_ids: Iterable[int]
+    ) -> "Realization":
+        """Build a realization where exactly ``live_edge_ids`` are live.
+
+        Useful for constructing the specific possible world of a worked
+        example (e.g. the Fig. 1 scenario) in tests.
+        """
+        live = np.zeros(graph.m, dtype=bool)
+        ids = np.asarray(list(live_edge_ids), dtype=np.int64)
+        if ids.size:
+            live[ids] = True
+        return cls(graph, live)
+
+    def is_live(self, edge_id: int) -> bool:
+        return bool(self._live[edge_id])
+
+    @property
+    def live_mask(self) -> np.ndarray:
+        """Boolean live/blocked mask indexed by edge id (copy-free view)."""
+        return self._live
+
+    @property
+    def num_live_edges(self) -> int:
+        """Number of live edges in this possible world."""
+        return int(self._live.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Realization live={self.num_live_edges}/{self.graph.m}>"
+
+
+class LazyRealization(BaseRealization):
+    """Possible world whose edge flips are sampled on first inspection.
+
+    The sampled states are memoised, so repeated queries are consistent —
+    the defining property a realization needs for adaptive seeding, where
+    the same edge may be examined in several iterations.
+    """
+
+    __slots__ = ("graph", "_rng", "_states")
+
+    def __init__(self, graph: ProbabilisticGraph, random_state: RandomState = None) -> None:
+        self.graph = graph
+        self._rng = ensure_rng(random_state)
+        self._states: dict[int, bool] = {}
+
+    def is_live(self, edge_id: int) -> bool:
+        state = self._states.get(edge_id)
+        if state is None:
+            state = self._flip(edge_id)
+            self._states[edge_id] = state
+        return state
+
+    def _flip(self, edge_id: int) -> bool:
+        probability = self._edge_probability(edge_id)
+        return bool(self._rng.random() < probability)
+
+    def _edge_probability(self, edge_id: int) -> float:
+        # Edge ids index the outgoing CSR directly.
+        return float(self.graph._out_probs[edge_id])  # noqa: SLF001 - intentional fast path
+
+    @property
+    def num_sampled_edges(self) -> int:
+        """How many edge states have been materialised so far."""
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LazyRealization sampled={self.num_sampled_edges}/{self.graph.m}>"
+
+
+def sample_realizations(
+    graph: ProbabilisticGraph,
+    count: int,
+    random_state: RandomState = None,
+    lazy: bool = False,
+) -> list[BaseRealization]:
+    """Sample ``count`` independent realizations of ``graph``.
+
+    The paper's experiments average every algorithm over 20 sampled
+    realizations (Section VI-A); this helper builds that family
+    reproducibly.
+    """
+    rng = ensure_rng(random_state)
+    children = rng.spawn(count)
+    if lazy:
+        return [LazyRealization(graph, child) for child in children]
+    return [Realization.sample(graph, child) for child in children]

@@ -1,0 +1,127 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+========  ==============================================================
+Artefact  Driver
+========  ==============================================================
+Table II  :func:`repro.experiments.table2.reproduce_table2`
+Fig. 2    :func:`repro.experiments.profit_experiments.reproduce_figure2`
+Fig. 3    :func:`repro.experiments.profit_experiments.reproduce_figure3`
+Fig. 4a   :func:`repro.experiments.profit_experiments.reproduce_figure4a`
+Fig. 4b   :func:`repro.experiments.sensitivity.epsilon_sensitivity`
+Fig. 5    :func:`repro.experiments.runtime_experiments.reproduce_figure5`
+Fig. 6    :func:`repro.experiments.runtime_experiments.reproduce_figure6`
+Fig. 7    :func:`repro.experiments.predefined_cost.reproduce_figure7`
+Fig. 8    :func:`repro.experiments.predefined_cost.reproduce_figure8`
+Fig. 9    :func:`repro.experiments.sample_scaling.sample_size_scaling`
+========  ==============================================================
+
+Every driver accepts an :class:`~repro.experiments.config.ExperimentScale`
+preset (``SMOKE`` / ``SMALL`` / ``PAPER``) so the same code runs in seconds
+for tests and in full for real studies.
+"""
+
+from repro.experiments.ablations import (
+    adaptivity_ablation,
+    dynamic_threshold_ablation,
+    error_mode_ablation,
+    sample_cap_ablation,
+)
+from repro.experiments.config import (
+    PAPER,
+    PROFIT_ALGORITHMS,
+    RUNTIME_ALGORITHMS,
+    SCALES,
+    SMALL,
+    SMOKE,
+    EngineParameters,
+    ExperimentScale,
+    get_scale,
+)
+from repro.experiments.plotting import ascii_bar_chart, ascii_chart
+from repro.experiments.predefined_cost import (
+    hatp_vs_nonadaptive_selector,
+    reproduce_figure7,
+    reproduce_figure8,
+)
+from repro.experiments.profit_experiments import (
+    profit_series,
+    reproduce_figure2,
+    reproduce_figure3,
+    reproduce_figure4a,
+    sweep_target_sizes,
+)
+from repro.experiments.reporting import (
+    collect_figure_rows,
+    format_figure,
+    format_outcomes,
+    format_rows,
+    summarize_improvement,
+    write_rows_csv,
+)
+from repro.experiments.results import SeriesResult, merge_series
+from repro.experiments.runner import (
+    AggregateOutcome,
+    AlgorithmSpec,
+    build_standard_suite,
+    evaluate_adaptive,
+    evaluate_nonadaptive,
+    evaluate_suite,
+)
+from repro.experiments.runtime_experiments import (
+    profit_and_runtime,
+    reproduce_figure5,
+    reproduce_figure6,
+    runtime_series,
+)
+from repro.experiments.sample_scaling import sample_size_scaling
+from repro.experiments.sensitivity import epsilon_sensitivity, profit_relative_range
+from repro.experiments.table2 import format_table2, reproduce_table2
+
+__all__ = [
+    "AggregateOutcome",
+    "AlgorithmSpec",
+    "EngineParameters",
+    "ExperimentScale",
+    "PAPER",
+    "PROFIT_ALGORITHMS",
+    "RUNTIME_ALGORITHMS",
+    "SCALES",
+    "SMALL",
+    "SMOKE",
+    "SeriesResult",
+    "adaptivity_ablation",
+    "ascii_bar_chart",
+    "ascii_chart",
+    "build_standard_suite",
+    "collect_figure_rows",
+    "dynamic_threshold_ablation",
+    "epsilon_sensitivity",
+    "error_mode_ablation",
+    "evaluate_adaptive",
+    "evaluate_nonadaptive",
+    "evaluate_suite",
+    "format_figure",
+    "format_outcomes",
+    "format_rows",
+    "format_table2",
+    "get_scale",
+    "hatp_vs_nonadaptive_selector",
+    "merge_series",
+    "profit_and_runtime",
+    "profit_relative_range",
+    "profit_series",
+    "reproduce_figure2",
+    "reproduce_figure3",
+    "reproduce_figure4a",
+    "reproduce_figure5",
+    "reproduce_figure6",
+    "reproduce_figure7",
+    "reproduce_figure8",
+    "reproduce_table2",
+    "runtime_series",
+    "sample_cap_ablation",
+    "sample_size_scaling",
+    "summarize_improvement",
+    "sweep_target_sizes",
+    "write_rows_csv",
+]

@@ -1,0 +1,129 @@
+"""Command-line entry point for the experiment harness.
+
+Usage examples::
+
+    python -m repro.experiments table2
+    python -m repro.experiments fig2 --scale smoke --datasets nethept epinions
+    python -m repro.experiments fig4b --dataset epinions --csv out/fig4b.csv
+    python -m repro.experiments fig7 --scale small
+
+Each subcommand regenerates one table/figure of the paper, prints the series
+as a text table, and optionally writes the long-format rows to a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    epsilon_sensitivity,
+    format_figure,
+    format_table2,
+    get_scale,
+    reproduce_figure2,
+    reproduce_figure3,
+    reproduce_figure4a,
+    reproduce_figure5,
+    reproduce_figure6,
+    reproduce_figure7,
+    reproduce_figure8,
+    reproduce_table2,
+    sample_size_scaling,
+)
+from repro.experiments.reporting import collect_figure_rows, write_rows_csv
+
+EXPERIMENTS = (
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="which artefact to regenerate")
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    parser.add_argument("--datasets", nargs="+", default=None, help="restrict to these datasets")
+    parser.add_argument("--dataset", default=None, help="single-dataset experiments (fig4a/4b/9)")
+    parser.add_argument("--seed", type=int, default=2020, help="master random seed")
+    parser.add_argument("--csv", default=None, help="write long-format rows to this CSV file")
+    parser.add_argument(
+        "--plot", action="store_true", help="also render each series as an ASCII chart"
+    )
+    parser.add_argument(
+        "--log-y", action="store_true", help="use a logarithmic y axis for --plot"
+    )
+    return parser
+
+
+def run_experiment(args: argparse.Namespace):
+    """Dispatch to the requested driver and return its result object."""
+    scale = get_scale(args.scale)
+    seed = args.seed
+    if args.experiment == "table2":
+        return reproduce_table2(scale, dataset_names=args.datasets, random_state=seed)
+    if args.experiment == "fig2":
+        return reproduce_figure2(scale, datasets=args.datasets, random_state=seed)
+    if args.experiment == "fig3":
+        return reproduce_figure3(scale, datasets=args.datasets, random_state=seed)
+    if args.experiment == "fig4a":
+        return reproduce_figure4a(scale, dataset=args.dataset or "epinions", random_state=seed)
+    if args.experiment == "fig4b":
+        return epsilon_sensitivity(
+            dataset=args.dataset or "epinions", scale=scale, random_state=seed
+        )
+    if args.experiment == "fig5":
+        return reproduce_figure5(scale, datasets=args.datasets, random_state=seed)
+    if args.experiment == "fig6":
+        return reproduce_figure6(scale, datasets=args.datasets, random_state=seed)
+    if args.experiment == "fig7":
+        return reproduce_figure7(scale, dataset=args.dataset or "livejournal", random_state=seed)
+    if args.experiment == "fig8":
+        return reproduce_figure8(scale, dataset=args.dataset or "livejournal", random_state=seed)
+    if args.experiment == "fig9":
+        return sample_size_scaling(
+            dataset=args.dataset or "epinions", scale=scale, random_state=seed
+        )
+    raise ValueError(f"unhandled experiment {args.experiment!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    result = run_experiment(args)
+
+    if args.experiment == "table2":
+        print(format_table2(result))
+        rows = result
+    else:
+        print(format_figure(result))
+        rows = collect_figure_rows(result)
+        if args.plot:
+            from repro.experiments.plotting import ascii_chart
+            from repro.experiments.results import SeriesResult
+
+            panels = [result] if isinstance(result, SeriesResult) else list(result.values())
+            for panel in panels:
+                print()
+                print(ascii_chart(panel, log_y=args.log_y))
+
+    if args.csv:
+        write_rows_csv(rows, args.csv)
+        print(f"\nwrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Terminal (ASCII) charts for experiment series.
+
+The library is designed to run in fully offline environments where
+matplotlib may not be available, so the experiment harness ships a small
+plain-text plotting helper: a log/linear scatter-line chart good enough to
+eyeball the shapes the paper's figures show (who is on top, how fast the
+running time grows, where curves cross).
+
+Only standard library + the :class:`~repro.experiments.results.SeriesResult`
+container are used.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.results import SeriesResult
+
+#: Characters used to mark the different series, in assignment order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int, log: bool) -> int:
+    """Map ``value`` in ``[low, high]`` to a row/column index in ``[0, size)``."""
+    if log:
+        value, low, high = math.log10(value), math.log10(low), math.log10(high)
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(fraction * (size - 1)))))
+
+
+def ascii_chart(
+    result: SeriesResult,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    series_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a :class:`SeriesResult` as an ASCII chart.
+
+    Parameters
+    ----------
+    result:
+        The series to plot; x values are laid out evenly (the paper's k axis
+        is roughly exponential, so even spacing matches its figures).
+    width / height:
+        Plot area size in characters.
+    log_y:
+        Use a logarithmic y axis (as the running-time figures do).
+    series_names:
+        Optional subset / ordering of series to draw.
+
+    Returns
+    -------
+    str
+        A multi-line string: title, plot area with y-axis labels, x-axis
+        ticks and a marker legend.
+    """
+    names = [
+        name
+        for name in (series_names if series_names is not None else result.series)
+        if name in result.series
+    ]
+    points: Dict[str, List[float]] = {
+        name: [v for v in result.series[name] if v is not None] for name in names
+    }
+    finite = [v for values in points.values() for v in values if math.isfinite(v)]
+    if not finite:
+        return f"[{result.experiment_id}] {result.title} — no data"
+
+    low, high = min(finite), max(finite)
+    if log_y:
+        positive = [v for v in finite if v > 0]
+        if not positive:
+            log_y = False
+        else:
+            low = min(positive)
+            high = max(positive)
+    if high == low:
+        high = low + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    x_count = len(result.x_values)
+    for series_index, name in enumerate(names):
+        marker = SERIES_MARKERS[series_index % len(SERIES_MARKERS)]
+        values = result.series[name]
+        for x_index, value in enumerate(values):
+            if value is None or not math.isfinite(value):
+                continue
+            if log_y and value <= 0:
+                continue
+            column = _scale(x_index, 0, max(x_count - 1, 1), width, log=False)
+            row = _scale(value, low, high, height, log=log_y)
+            grid[height - 1 - row][column] = marker
+
+    axis_label = "log " if log_y else ""
+    lines = [f"[{result.experiment_id}] {result.title} — {result.dataset}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:>10.3g} |"
+        elif row_index == height - 1:
+            label = f"{low:>10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    tick_line = [" "] * (width + 20)
+    for x_index, x_value in enumerate(result.x_values):
+        column = 12 + _scale(x_index, 0, max(x_count - 1, 1), width, log=False)
+        text = str(x_value)
+        for offset, char in enumerate(text[:8]):
+            position = column + offset
+            if position < len(tick_line):
+                tick_line[position] = char
+    lines.append("".join(tick_line).rstrip() + f"   ({result.x_name}, {axis_label}y-axis)")
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Useful for single-configuration comparisons such as the ablation
+    studies ("profit of HATP vs ADDATP on one instance").
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return title or "(no data)"
+    largest = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar_length = int(round(abs(value) / largest * width))
+        bar = "#" * bar_length
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Containers for experiment outputs (one per figure/table series)."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass
+class SeriesResult:
+    """One figure's worth of data: series of y-values over a swept x-axis.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier matching DESIGN.md's experiment index (e.g. ``"fig2"``).
+    title:
+        Human-readable description.
+    dataset:
+        Dataset (proxy) name the series was measured on.
+    x_name / x_values:
+        The swept parameter (``k``, ``lambda``, ``epsilon``, ``scale``) and
+        its values.
+    series:
+        Mapping from series name (usually an algorithm) to y-values aligned
+        with ``x_values``.
+    metadata:
+        Scale preset, cost setting, seeds, and anything else needed to
+        reproduce the numbers.
+    """
+
+    experiment_id: str
+    title: str
+    dataset: str
+    x_name: str
+    x_values: List[Union[int, float]]
+    series: Dict[str, List[float]]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Long-format rows: one per (x, series) pair."""
+        scalar_metadata = {
+            key: value
+            for key, value in self.metadata.items()
+            if isinstance(value, (str, int, float)) and key not in {"scale"}
+        }
+        rows: List[Dict[str, object]] = []
+        for name, values in self.series.items():
+            for x, y in zip(self.x_values, values):
+                row: Dict[str, object] = {
+                    "experiment": self.experiment_id,
+                    "dataset": self.dataset,
+                    self.x_name: x,
+                    "series": name,
+                    "value": y,
+                }
+                row.update(scalar_metadata)
+                rows.append(row)
+        return rows
+
+    def format_table(self, float_format: str = "{:>12.3f}") -> str:
+        """Fixed-width text table (x values as columns, series as rows)."""
+        header_cells = [f"{self.x_name:>8}"] + [f"{x!s:>12}" for x in self.x_values]
+        lines = [
+            f"[{self.experiment_id}] {self.title} — {self.dataset}",
+            " ".join(header_cells),
+        ]
+        for name, values in self.series.items():
+            cells = [f"{name:>8}"] + [
+                float_format.format(v) if v is not None else " " * 12 for v in values
+            ]
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def best_series_at(self, x_value: Union[int, float]) -> str:
+        """Name of the series with the highest value at ``x_value``."""
+        index = self.x_values.index(x_value)
+        candidates = {
+            name: values[index]
+            for name, values in self.series.items()
+            if values[index] is not None
+        }
+        return max(candidates, key=candidates.get)
+
+    def improvement_over(self, series_a: str, series_b: str) -> List[float]:
+        """Relative improvement ``(a − b) / |b|`` per x value (None-safe)."""
+        result = []
+        for a, b in zip(self.series[series_a], self.series[series_b]):
+            if a is None or b is None or b == 0:
+                result.append(float("nan"))
+            else:
+                result.append((a - b) / abs(b))
+        return result
+
+    def write_csv(self, path: Union[str, Path]) -> None:
+        """Write the long-format rows to a CSV file."""
+        rows = self.to_rows()
+        if not rows:
+            return
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+            writer.writeheader()
+            writer.writerows(rows)
+
+
+def merge_series(results: Sequence[SeriesResult], experiment_id: str, title: str) -> SeriesResult:
+    """Concatenate single-dataset series into one multi-dataset container.
+
+    Series names are prefixed with the dataset so they remain distinct.
+    """
+    if not results:
+        raise ValueError("results must not be empty")
+    x_values = results[0].x_values
+    merged: Dict[str, List[float]] = {}
+    for result in results:
+        for name, values in result.series.items():
+            merged[f"{result.dataset}:{name}"] = values
+    return SeriesResult(
+        experiment_id=experiment_id,
+        title=title,
+        dataset="+".join(result.dataset for result in results),
+        x_name=results[0].x_name,
+        x_values=list(x_values),
+        series=merged,
+        metadata={"merged_from": [result.experiment_id for result in results]},
+    )

@@ -1,0 +1,283 @@
+"""Shared evaluation machinery for the experiment drivers.
+
+The paper's protocol (Section VI-A): for every configuration, sample 20
+realizations of the graph and report each algorithm's *average realized
+profit* over them.  Adaptive algorithms interact with each realization
+through an :class:`~repro.core.session.AdaptiveSession`; nonadaptive
+algorithms pick their seed set once (it cannot depend on the realization)
+and are scored against the same 20 possible worlds.
+
+:func:`build_standard_suite` constructs the exact algorithm line-up of the
+profit figures — HATP, ADDATP, HNTP, NSG, NDG, ARS and the Baseline (the
+whole target set) — parameterised by an
+:class:`~repro.experiments.config.EngineParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.ndg import NDG
+from repro.baselines.nsg import NSG
+from repro.baselines.random_set import AdaptiveRandomSet
+from repro.core.addatp import ADDATP
+from repro.core.hatp import HATP
+from repro.core.hntp import HNTP
+from repro.core.results import NonadaptiveSelection, SeedingResult
+from repro.core.session import AdaptiveSession
+from repro.core.targets import TPMInstance
+from repro.diffusion.realization import BaseRealization, sample_realizations
+from repro.experiments.config import EngineParameters
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """How to build and run one algorithm inside an experiment.
+
+    ``kind`` is ``"adaptive"`` (factory returns an object with
+    ``run(session)``), ``"nonadaptive"`` (factory returns an object with
+    ``select(graph, costs)``), or ``"fixed"`` (factory returns a seed list
+    directly — used for the Baseline, i.e. seeding the whole target set).
+    """
+
+    name: str
+    kind: str
+    factory: Callable[[TPMInstance, np.random.Generator], object]
+
+
+@dataclass
+class AggregateOutcome:
+    """Average outcome of one algorithm over the evaluation realizations."""
+
+    algorithm: str
+    mean_profit: float
+    std_profit: float
+    mean_spread: float
+    mean_seeds: float
+    mean_seed_cost: float
+    selection_runtime_seconds: float
+    total_rr_sets: int
+    per_realization_profits: List[float] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary row for tabular reporting."""
+        return {
+            "algorithm": self.algorithm,
+            "profit": round(self.mean_profit, 3),
+            "profit_std": round(self.std_profit, 3),
+            "spread": round(self.mean_spread, 2),
+            "seeds": round(self.mean_seeds, 2),
+            "cost": round(self.mean_seed_cost, 2),
+            "runtime_s": round(self.selection_runtime_seconds, 4),
+            "rr_sets": self.total_rr_sets,
+        }
+
+
+def _aggregate(
+    algorithm: str,
+    profits: Sequence[float],
+    spreads: Sequence[float],
+    seeds: Sequence[float],
+    costs: Sequence[float],
+    runtime: float,
+    rr_sets: int,
+) -> AggregateOutcome:
+    profits = np.asarray(profits, dtype=np.float64)
+    return AggregateOutcome(
+        algorithm=algorithm,
+        mean_profit=float(profits.mean()) if profits.size else 0.0,
+        std_profit=float(profits.std(ddof=0)) if profits.size else 0.0,
+        mean_spread=float(np.mean(spreads)) if len(spreads) else 0.0,
+        mean_seeds=float(np.mean(seeds)) if len(seeds) else 0.0,
+        mean_seed_cost=float(np.mean(costs)) if len(costs) else 0.0,
+        selection_runtime_seconds=runtime,
+        total_rr_sets=int(rr_sets),
+        per_realization_profits=[float(p) for p in profits],
+    )
+
+
+def evaluate_adaptive(
+    spec: AlgorithmSpec,
+    instance: TPMInstance,
+    realizations: Sequence[BaseRealization],
+    random_state: RandomState = None,
+) -> AggregateOutcome:
+    """Run an adaptive algorithm once per realization and average the outcomes."""
+    rng = ensure_rng(random_state)
+    profits, spreads, seeds, costs = [], [], [], []
+    total_runtime = 0.0
+    total_rr = 0
+    for realization in realizations:
+        algorithm = spec.factory(instance, rng)
+        session = AdaptiveSession(instance.graph, realization, instance.costs)
+        result: SeedingResult = algorithm.run(session)
+        profits.append(result.realized_profit)
+        spreads.append(result.realized_spread)
+        seeds.append(result.num_seeds)
+        costs.append(result.seed_cost)
+        total_runtime += result.runtime_seconds
+        total_rr += result.rr_sets_generated
+    mean_runtime = total_runtime / max(len(realizations), 1)
+    return _aggregate(spec.name, profits, spreads, seeds, costs, mean_runtime, total_rr)
+
+
+def evaluate_nonadaptive(
+    spec: AlgorithmSpec,
+    instance: TPMInstance,
+    realizations: Sequence[BaseRealization],
+    random_state: RandomState = None,
+) -> AggregateOutcome:
+    """Select once on the full graph, then score against every realization."""
+    rng = ensure_rng(random_state)
+    algorithm = spec.factory(instance, rng)
+    timer = Timer().start()
+    if spec.kind == "fixed":
+        seeds_chosen: List[int] = list(algorithm)  # type: ignore[arg-type]
+        selection_runtime = 0.0
+        rr_sets = 0
+    else:
+        selection: NonadaptiveSelection = algorithm.select(instance.graph, instance.costs)
+        seeds_chosen = list(selection.seeds)
+        selection_runtime = selection.runtime_seconds
+        rr_sets = selection.rr_sets_generated
+    timer.stop()
+
+    profits, spreads, costs = [], [], []
+    for realization in realizations:
+        session = AdaptiveSession(instance.graph, realization, instance.costs)
+        outcome = session.evaluate_nonadaptive(seeds_chosen)
+        profits.append(outcome.profit)
+        spreads.append(outcome.spread)
+        costs.append(outcome.cost)
+    return _aggregate(
+        spec.name,
+        profits,
+        spreads,
+        [len(seeds_chosen)] * len(realizations),
+        costs,
+        selection_runtime if spec.kind != "fixed" else timer.elapsed,
+        rr_sets,
+    )
+
+
+def evaluate_suite(
+    specs: Sequence[AlgorithmSpec],
+    instance: TPMInstance,
+    num_realizations: int,
+    random_state: RandomState = None,
+) -> Dict[str, AggregateOutcome]:
+    """Evaluate every algorithm of ``specs`` on shared realizations."""
+    rng = ensure_rng(random_state)
+    realizations = sample_realizations(instance.graph, num_realizations, rng)
+    outcomes: Dict[str, AggregateOutcome] = {}
+    for spec in specs:
+        if spec.kind == "adaptive":
+            outcomes[spec.name] = evaluate_adaptive(spec, instance, realizations, rng)
+        else:
+            outcomes[spec.name] = evaluate_nonadaptive(spec, instance, realizations, rng)
+    return outcomes
+
+
+# --------------------------------------------------------------------------- #
+# the standard line-up of the paper's figures
+# --------------------------------------------------------------------------- #
+
+
+def build_standard_suite(
+    engine: EngineParameters,
+    include_addatp: bool = True,
+    include_baseline: bool = True,
+    include_ars: bool = True,
+) -> List[AlgorithmSpec]:
+    """Algorithm specs for the profit figures (Fig. 2–4).
+
+    ADDATP can be excluded (the paper itself can only run it on the smallest
+    configurations before exhausting memory); ARS / Baseline can be dropped
+    for the running-time figures.
+    """
+    specs: List[AlgorithmSpec] = [
+        AlgorithmSpec(
+            name="HATP",
+            kind="adaptive",
+            factory=lambda inst, rng: HATP(
+                inst.target,
+                epsilon=engine.epsilon,
+                epsilon0=engine.epsilon0,
+                initial_scaled_error=engine.initial_scaled_error,
+                additive_floor=engine.additive_floor,
+                max_rounds=engine.max_rounds,
+                max_samples_per_round=engine.max_samples_per_round,
+                random_state=rng,
+            ),
+        ),
+    ]
+    if include_addatp:
+        specs.append(
+            AlgorithmSpec(
+                name="ADDATP",
+                kind="adaptive",
+                factory=lambda inst, rng: ADDATP(
+                    inst.target,
+                    initial_scaled_error=engine.initial_scaled_error,
+                    max_rounds=engine.addatp_max_rounds,
+                    max_samples_per_round=engine.addatp_max_samples_per_round,
+                    random_state=rng,
+                ),
+            )
+        )
+    specs.append(
+        AlgorithmSpec(
+            name="HNTP",
+            kind="nonadaptive",
+            factory=lambda inst, rng: HNTP(
+                inst.target,
+                epsilon=engine.epsilon,
+                epsilon0=engine.epsilon0,
+                initial_scaled_error=engine.initial_scaled_error,
+                additive_floor=engine.additive_floor,
+                max_rounds=engine.max_rounds,
+                max_samples_per_round=engine.max_samples_per_round,
+                random_state=rng,
+            ),
+        )
+    )
+    specs.append(
+        AlgorithmSpec(
+            name="NSG",
+            kind="nonadaptive",
+            factory=lambda inst, rng: NSG(
+                inst.target, num_samples=engine.nsg_ndg_samples(), random_state=rng
+            ),
+        )
+    )
+    specs.append(
+        AlgorithmSpec(
+            name="NDG",
+            kind="nonadaptive",
+            factory=lambda inst, rng: NDG(
+                inst.target, num_samples=engine.nsg_ndg_samples(), random_state=rng
+            ),
+        )
+    )
+    if include_ars:
+        specs.append(
+            AlgorithmSpec(
+                name="ARS",
+                kind="adaptive",
+                factory=lambda inst, rng: AdaptiveRandomSet(inst.target, random_state=rng),
+            )
+        )
+    if include_baseline:
+        specs.append(
+            AlgorithmSpec(
+                name="Baseline",
+                kind="fixed",
+                factory=lambda inst, rng: list(inst.target),
+            )
+        )
+    return specs

@@ -1,0 +1,111 @@
+"""Running-time comparisons — Figures 5 and 6 of the paper.
+
+The running time reported for each algorithm is the *seed-selection* time:
+for adaptive algorithms the mean wall-clock time of one adaptive run, for
+nonadaptive algorithms the single selection pass.  ARS and the Baseline are
+excluded, exactly as in the paper (their selection time is negligible).
+
+The expected shape (preserved by the pure-Python engine even though the
+absolute seconds are orders of magnitude away from the paper's C++ numbers):
+
+* ADDATP is dramatically slower than HATP (the hybrid error needs far fewer
+  RR sets than the additive error at the same decision quality);
+* HATP and HNTP are slower than NSG and NDG (they regenerate RR sets every
+  iteration to keep per-decision guarantees);
+* HNTP is slightly slower than HATP (it always samples on the full graph
+  rather than on shrinking residual graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import RUNTIME_ALGORITHMS, ExperimentScale, SMOKE
+from repro.experiments.profit_experiments import sweep_target_sizes
+from repro.experiments.results import SeriesResult
+from repro.experiments.runner import AggregateOutcome
+from repro.utils.rng import RandomState
+
+
+def runtime_series(
+    dataset: str,
+    cost_setting: str,
+    scale: ExperimentScale = SMOKE,
+    experiment_id: str = "fig5",
+    random_state: RandomState = 0,
+    sweep: Optional[Dict[int, Dict[str, AggregateOutcome]]] = None,
+    algorithms: Sequence[str] = RUNTIME_ALGORITHMS,
+) -> SeriesResult:
+    """Running-time-versus-``k`` series for one dataset and cost setting."""
+    if sweep is None:
+        sweep = sweep_target_sizes(dataset, cost_setting, scale, random_state=random_state)
+    k_values = sorted(sweep)
+    series: Dict[str, List[float]] = {}
+    for name in algorithms:
+        series[name] = [
+            sweep[k][name].selection_runtime_seconds if name in sweep[k] else None
+            for k in k_values
+        ]
+    return SeriesResult(
+        experiment_id=experiment_id,
+        title=f"Running time vs k ({cost_setting} cost)",
+        dataset=dataset,
+        x_name="k",
+        x_values=list(k_values),
+        series=series,
+        metadata={"cost_setting": cost_setting, "scale": scale.name, "unit": "seconds"},
+    )
+
+
+def reproduce_figure5(
+    scale: ExperimentScale = SMOKE,
+    datasets: Optional[Sequence[str]] = None,
+    random_state: RandomState = 0,
+) -> Dict[str, SeriesResult]:
+    """Fig. 5: running time under the degree-proportional cost setting."""
+    names = datasets if datasets is not None else scale.datasets
+    return {
+        name: runtime_series(
+            name, "degree", scale, experiment_id="fig5", random_state=random_state
+        )
+        for name in names
+    }
+
+
+def reproduce_figure6(
+    scale: ExperimentScale = SMOKE,
+    datasets: Optional[Sequence[str]] = None,
+    random_state: RandomState = 0,
+) -> Dict[str, SeriesResult]:
+    """Fig. 6: running time under the uniform cost setting."""
+    names = datasets if datasets is not None else scale.datasets
+    return {
+        name: runtime_series(
+            name, "uniform", scale, experiment_id="fig6", random_state=random_state
+        )
+        for name in names
+    }
+
+
+def profit_and_runtime(
+    dataset: str,
+    cost_setting: str,
+    scale: ExperimentScale = SMOKE,
+    random_state: RandomState = 0,
+) -> Dict[str, SeriesResult]:
+    """Run the sweep once and extract both the profit and runtime series.
+
+    Convenience for scripts that want Fig. 2 and Fig. 5 panels for the same
+    dataset without paying for the sweep twice.
+    """
+    from repro.experiments.profit_experiments import profit_series
+
+    sweep = sweep_target_sizes(dataset, cost_setting, scale, random_state=random_state)
+    return {
+        "profit": profit_series(
+            dataset, cost_setting, scale, experiment_id="fig2", sweep=sweep
+        ),
+        "runtime": runtime_series(
+            dataset, cost_setting, scale, experiment_id="fig5", sweep=sweep
+        ),
+    }

@@ -1,0 +1,32 @@
+"""Probabilistic social-graph substrate.
+
+Public surface:
+
+* :class:`~repro.graphs.graph.ProbabilisticGraph` — CSR graph with edge
+  probabilities under the Independent Cascade model.
+* :class:`~repro.graphs.residual.ResidualGraph` — a graph view with nodes
+  removed, used by the adaptive seeding loop.
+* :mod:`~repro.graphs.weighting` — weighted-cascade / trivalency / uniform
+  probability assignment.
+* :mod:`~repro.graphs.generators` — synthetic graph generators.
+* :mod:`~repro.graphs.datasets` — scaled proxies for the paper's datasets.
+* :mod:`~repro.graphs.io` — SNAP-style edge-list reading/writing.
+* :mod:`~repro.graphs.statistics` — Table II style summary statistics.
+* :mod:`~repro.graphs.toy` — the Fig. 1 worked example.
+"""
+
+from repro.graphs import datasets, generators, io, statistics, toy, weighting
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph, as_residual
+
+__all__ = [
+    "ProbabilisticGraph",
+    "ResidualGraph",
+    "as_residual",
+    "datasets",
+    "generators",
+    "io",
+    "statistics",
+    "toy",
+    "weighting",
+]

@@ -1,0 +1,157 @@
+"""Residual-graph views used by the adaptive seeding loop.
+
+After an adaptive algorithm commits to a seed and observes the set of nodes
+the seed activated, those nodes are removed from the graph: they can neither
+be seeded again nor re-activated, and they no longer contribute spread.  The
+paper calls the remaining structure the *residual graph* ``G_i``.
+
+Rebuilding a CSR graph after every seed would dominate the running time, so
+the library represents residual graphs as a lightweight *view*: the original
+:class:`~repro.graphs.graph.ProbabilisticGraph` plus a boolean activity mask.
+All diffusion and RR-set routines accept either a plain graph or a
+:class:`ResidualGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+
+
+class ResidualGraph:
+    """A view of a graph with some nodes removed (marked inactive).
+
+    Parameters
+    ----------
+    base:
+        The underlying full graph.
+    active_mask:
+        Boolean array of length ``base.n``; ``True`` marks nodes still present
+        in the residual graph.  Defaults to all-active.
+    """
+
+    __slots__ = ("_base", "_active")
+
+    def __init__(
+        self,
+        base: ProbabilisticGraph,
+        active_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self._base = base
+        if active_mask is None:
+            self._active = np.ones(base.n, dtype=bool)
+        else:
+            mask = np.asarray(active_mask, dtype=bool)
+            if mask.shape != (base.n,):
+                raise ValidationError(
+                    f"active_mask must have shape ({base.n},), got {mask.shape}"
+                )
+            self._active = mask.copy()
+
+    # ------------------------------------------------------------------ #
+    # identity / size
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base(self) -> ProbabilisticGraph:
+        """The underlying full graph."""
+        return self._base
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean activity mask (do not mutate; use :meth:`without`)."""
+        return self._active
+
+    @property
+    def n(self) -> int:
+        """Number of nodes of the *base* graph (ids stay stable)."""
+        return self._base.n
+
+    @property
+    def num_active(self) -> int:
+        """Number of nodes still present in the residual graph (``n_i``)."""
+        return int(self._active.sum())
+
+    @property
+    def num_active_edges(self) -> int:
+        """Number of edges with both endpoints active (``m_i``)."""
+        sources, targets, _ = self._base.edge_array()
+        return int(np.count_nonzero(self._active[sources] & self._active[targets]))
+
+    def active_nodes(self) -> np.ndarray:
+        """Array of node ids still present."""
+        return np.nonzero(self._active)[0]
+
+    def is_active(self, node: int) -> bool:
+        """Whether ``node`` is still present in the residual graph."""
+        return bool(self._active[node])
+
+    # ------------------------------------------------------------------ #
+    # adjacency restricted to active nodes
+    # ------------------------------------------------------------------ #
+
+    def out_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Active out-neighbours of ``node`` as ``(targets, probs, edge_ids)``."""
+        targets, probs, edge_ids = self._base.out_neighbors(node)
+        keep = self._active[targets]
+        return targets[keep], probs[keep], edge_ids[keep]
+
+    def in_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Active in-neighbours of ``node`` as ``(sources, probs, edge_ids)``."""
+        sources, probs, edge_ids = self._base.in_neighbors(node)
+        keep = self._active[sources]
+        return sources[keep], probs[keep], edge_ids[keep]
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def without(self, removed_nodes: Iterable[int]) -> "ResidualGraph":
+        """Return a new residual graph with ``removed_nodes`` additionally removed."""
+        mask = self._active.copy()
+        removed = np.asarray(list(removed_nodes), dtype=np.int64)
+        if removed.size:
+            if removed.min() < 0 or removed.max() >= self._base.n:
+                raise ValidationError("removed_nodes contains invalid node ids")
+            mask[removed] = False
+        return ResidualGraph(self._base, mask)
+
+    def restricted_to(self, kept_nodes: Iterable[int]) -> "ResidualGraph":
+        """Return a residual graph keeping only ``kept_nodes`` (intersected with current)."""
+        keep = np.zeros(self._base.n, dtype=bool)
+        kept = np.asarray(list(kept_nodes), dtype=np.int64)
+        if kept.size:
+            keep[kept] = True
+        return ResidualGraph(self._base, self._active & keep)
+
+    def materialize(self, name: str = "") -> ProbabilisticGraph:
+        """Build a standalone :class:`ProbabilisticGraph` of the active part.
+
+        Node ids are relabelled; mostly useful for debugging and tests.
+        """
+        return self._base.subgraph(self.active_nodes(), name=name)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "ResidualGraph":
+        """Independent copy of the view (the base graph is shared)."""
+        return ResidualGraph(self._base, self._active)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ResidualGraph active={self.num_active}/{self._base.n} "
+            f"of {self._base.name or 'graph'}>"
+        )
+
+
+def as_residual(graph: ProbabilisticGraph | ResidualGraph) -> ResidualGraph:
+    """Coerce ``graph`` into a :class:`ResidualGraph` view (no copy if already one)."""
+    if isinstance(graph, ResidualGraph):
+        return graph
+    return ResidualGraph(graph)

@@ -1,0 +1,67 @@
+"""Edge-probability assignment schemes.
+
+The paper (Section VI-A) follows the common convention in the influence
+maximization literature and sets every edge probability to
+``p(u, v) = 1 / indeg(v)`` — the *weighted cascade* model.  This module also
+provides the other standard schemes (uniform and trivalency) so that users
+can study the algorithms under different propagation regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import require, require_probability
+
+#: Default probability triple of the trivalency model (Chen et al.).
+TRIVALENCY_LEVELS = (0.1, 0.01, 0.001)
+
+
+def weighted_cascade(graph: ProbabilisticGraph) -> ProbabilisticGraph:
+    """Assign ``p(u, v) = 1 / indeg(v)`` to every edge (weighted cascade).
+
+    This is the setting used throughout the paper's experiments.
+    """
+    _, targets, _ = graph.edge_array()
+    in_degrees = graph.in_degrees
+    probabilities = 1.0 / np.maximum(in_degrees[targets], 1)
+    return graph.with_probabilities(probabilities)
+
+
+def uniform_probability(graph: ProbabilisticGraph, probability: float) -> ProbabilisticGraph:
+    """Assign the same probability to every edge."""
+    require_probability(probability, "probability")
+    return graph.with_uniform_probability(probability)
+
+
+def trivalency(
+    graph: ProbabilisticGraph,
+    levels: Sequence[float] = TRIVALENCY_LEVELS,
+    random_state: RandomState = None,
+) -> ProbabilisticGraph:
+    """Assign each edge one of ``levels`` uniformly at random (trivalency model)."""
+    require(len(levels) > 0, "levels must not be empty")
+    for level in levels:
+        require_probability(level, "levels entry")
+    rng = ensure_rng(random_state)
+    probabilities = rng.choice(np.asarray(levels, dtype=np.float64), size=graph.m)
+    return graph.with_probabilities(probabilities)
+
+
+def random_probabilities(
+    graph: ProbabilisticGraph,
+    low: float = 0.01,
+    high: float = 0.1,
+    random_state: RandomState = None,
+) -> ProbabilisticGraph:
+    """Assign each edge an independent uniform probability in ``[low, high]``."""
+    require_probability(low, "low")
+    require_probability(high, "high")
+    require(low <= high, "low must be <= high")
+    rng = ensure_rng(random_state)
+    probabilities = rng.uniform(low, high, size=graph.m)
+    return graph.with_probabilities(probabilities)

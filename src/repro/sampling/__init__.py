@@ -1,0 +1,45 @@
+"""Reverse-influence-sampling substrate: RR sets, coverage, concentration bounds."""
+
+from repro.sampling.bounds import (
+    SpreadConfidenceInterval,
+    additive_confidence_interval,
+    additive_error_for_budget,
+    hoeffding_sample_size,
+    hoeffding_tail,
+    hybrid_confidence_interval,
+    hybrid_lower_tail,
+    hybrid_sample_size,
+    hybrid_upper_tail,
+)
+from repro.sampling.estimators import (
+    RISProfitEstimator,
+    RISSpreadEstimator,
+    choose_sample_size_like_hatp,
+)
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.rr_sets import (
+    expected_rr_width,
+    generate_rr_set,
+    generate_rr_sets,
+    rr_set_sizes,
+)
+
+__all__ = [
+    "RISProfitEstimator",
+    "RISSpreadEstimator",
+    "RRCollection",
+    "SpreadConfidenceInterval",
+    "additive_confidence_interval",
+    "additive_error_for_budget",
+    "choose_sample_size_like_hatp",
+    "expected_rr_width",
+    "generate_rr_set",
+    "generate_rr_sets",
+    "hoeffding_sample_size",
+    "hoeffding_tail",
+    "hybrid_confidence_interval",
+    "hybrid_lower_tail",
+    "hybrid_sample_size",
+    "hybrid_upper_tail",
+    "rr_set_sizes",
+]

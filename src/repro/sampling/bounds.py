@@ -1,0 +1,170 @@
+"""Concentration bounds and sample-size calculators.
+
+Two bounds drive the paper's noise-model algorithms:
+
+* **Hoeffding's inequality** (Lemma 4) — bounds the probability that the
+  empirical mean of ``θ`` bounded i.i.d. variables deviates from its
+  expectation by more than an *additive* error ``ζ``.  ADDATP (Algorithm 3)
+  chooses ``θ = ln(8/δ) / (2 ζ²)`` so that both of its two estimates are
+  within ``n_i ζ`` of their means with probability ``1 − δ/2`` each.
+* **Relative+Additive concentration** (Lemma 7) — a martingale bound that
+  mixes a relative error ``ε`` with an additive error ``ζ``; HATP
+  (Algorithm 4) chooses ``θ = (1 + ε/3)² ln(4/δ) / (2 ε ζ)``.
+
+All functions work on the normalised ``[0, 1]`` coverage fraction
+``X = CovR(S)/θ`` whose expectation is ``E[I(S)]/n_i``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require, require_positive, require_probability
+
+
+# --------------------------------------------------------------------------- #
+# Hoeffding (additive error)
+# --------------------------------------------------------------------------- #
+
+
+def hoeffding_tail(num_samples: int, additive_error: float) -> float:
+    """Two-sided Hoeffding tail ``2 exp(-2 θ ζ²)`` for ``[0, 1]`` variables."""
+    require_positive(num_samples, "num_samples")
+    require_probability(additive_error, "additive_error")
+    return 2.0 * math.exp(-2.0 * num_samples * additive_error**2)
+
+
+def hoeffding_sample_size(
+    additive_error: float, failure_probability: float, numerator: float = 8.0
+) -> int:
+    """Samples needed so the Hoeffding tail is below ``failure_probability``.
+
+    The paper's Algorithm 3 uses ``θ = ln(8/δ) / (2 ζ²)`` (``numerator=8``
+    accounts for the union bound over the two estimates and both tails).
+    """
+    require_probability(additive_error, "additive_error")
+    require_positive(failure_probability, "failure_probability")
+    require_positive(numerator, "numerator")
+    return max(1, math.ceil(math.log(numerator / failure_probability) / (2.0 * additive_error**2)))
+
+
+def additive_error_for_budget(num_samples: int, failure_probability: float, numerator: float = 8.0) -> float:
+    """Invert :func:`hoeffding_sample_size`: the ζ achievable with ``num_samples``."""
+    require_positive(num_samples, "num_samples")
+    require_positive(failure_probability, "failure_probability")
+    return math.sqrt(math.log(numerator / failure_probability) / (2.0 * num_samples))
+
+
+# --------------------------------------------------------------------------- #
+# Relative + additive (hybrid error, Lemma 7)
+# --------------------------------------------------------------------------- #
+
+
+def hybrid_upper_tail(num_samples: int, relative_error: float, additive_error: float) -> float:
+    """``Pr[X ≥ (1+ε)µ + ζ] ≤ exp(−2θεζ / (1+ε/3)²)`` (Lemma 7, eq. 10)."""
+    require_positive(num_samples, "num_samples")
+    require_probability(relative_error, "relative_error")
+    require_probability(additive_error, "additive_error")
+    exponent = 2.0 * num_samples * relative_error * additive_error / (1.0 + relative_error / 3.0) ** 2
+    return math.exp(-exponent)
+
+
+def hybrid_lower_tail(num_samples: int, relative_error: float, additive_error: float) -> float:
+    """``Pr[X ≤ (1−ε)µ − ζ] ≤ exp(−2θεζ)`` (Lemma 7, eq. 11)."""
+    require_positive(num_samples, "num_samples")
+    require_probability(relative_error, "relative_error")
+    require_probability(additive_error, "additive_error")
+    return math.exp(-2.0 * num_samples * relative_error * additive_error)
+
+
+def hybrid_sample_size(
+    relative_error: float,
+    additive_error: float,
+    failure_probability: float,
+    numerator: float = 4.0,
+) -> int:
+    """Samples per batch used by HATP: ``θ = (1+ε/3)² ln(numerator/δ) / (2εζ)``."""
+    require_probability(relative_error, "relative_error")
+    require_probability(additive_error, "additive_error")
+    require_positive(failure_probability, "failure_probability")
+    theta = (
+        (1.0 + relative_error / 3.0) ** 2
+        * math.log(numerator / failure_probability)
+        / (2.0 * relative_error * additive_error)
+    )
+    return max(1, math.ceil(theta))
+
+
+# --------------------------------------------------------------------------- #
+# Confidence-interval helpers
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SpreadConfidenceInterval:
+    """A (possibly one-sided) confidence interval on an expected spread."""
+
+    estimate: float
+    lower: float
+    upper: float
+    failure_probability: float
+
+    @property
+    def width(self) -> float:
+        """Upper minus lower bound."""
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def additive_confidence_interval(
+    coverage: int,
+    num_samples: int,
+    num_active_nodes: int,
+    additive_error: float,
+    failure_probability: float,
+) -> SpreadConfidenceInterval:
+    """Additive-error CI around the RIS spread estimate (ADDATP's view).
+
+    With probability at least ``1 − failure_probability`` the true expected
+    spread lies in ``estimate ± n_i ζ``.
+    """
+    require(num_samples > 0, "num_samples must be positive")
+    estimate = coverage * num_active_nodes / num_samples
+    margin = num_active_nodes * additive_error
+    return SpreadConfidenceInterval(
+        estimate=estimate,
+        lower=max(0.0, estimate - margin),
+        upper=min(float(num_active_nodes), estimate + margin),
+        failure_probability=failure_probability,
+    )
+
+
+def hybrid_confidence_interval(
+    coverage: int,
+    num_samples: int,
+    num_active_nodes: int,
+    relative_error: float,
+    additive_error: float,
+    failure_probability: float,
+) -> SpreadConfidenceInterval:
+    """Hybrid-error CI (HATP's view): ``[(est − n_iζ)/(1+ε), (est + n_iζ)/(1−ε)]``.
+
+    Derived from Lemma 7: ``X ≤ (1+ε)µ + ζ`` implies ``µ ≥ (X − ζ)/(1+ε)``
+    and ``X ≥ (1−ε)µ − ζ`` implies ``µ ≤ (X + ζ)/(1−ε)``.
+    """
+    require(num_samples > 0, "num_samples must be positive")
+    require(relative_error < 1.0, "relative_error must be < 1")
+    estimate = coverage * num_active_nodes / num_samples
+    additive_margin = num_active_nodes * additive_error
+    lower = (estimate - additive_margin) / (1.0 + relative_error)
+    upper = (estimate + additive_margin) / (1.0 - relative_error)
+    return SpreadConfidenceInterval(
+        estimate=estimate,
+        lower=max(0.0, lower),
+        upper=max(0.0, upper),
+        failure_probability=failure_probability,
+    )

@@ -1,0 +1,42 @@
+"""Shared utilities: RNG management, validation, timing, and exceptions.
+
+Every stochastic component of the library receives an explicit
+:class:`numpy.random.Generator`.  The helpers in :mod:`repro.utils.rng`
+standardise how such generators are created, seeded and split so that every
+experiment in the repository is reproducible from a single integer seed.
+"""
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    GraphFormatError,
+    ReproError,
+    SamplingBudgetExceeded,
+    ValidationError,
+)
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.timer import Timer, format_seconds
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "GraphFormatError",
+    "RandomState",
+    "ReproError",
+    "SamplingBudgetExceeded",
+    "Timer",
+    "ValidationError",
+    "ensure_rng",
+    "format_seconds",
+    "require",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "spawn_rngs",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy used across the library.
+
+All exceptions raised intentionally by :mod:`repro` derive from
+:class:`ReproError` so callers can catch library errors without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised intentionally by the library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong shape, ...)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or algorithm configuration is inconsistent."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An on-disk graph description could not be parsed."""
+
+
+class SamplingBudgetExceeded(ReproError, RuntimeError):
+    """A sampling loop hit its hard budget before meeting its stop rule.
+
+    The noise-model algorithms (:class:`repro.core.addatp.ADDATP` and
+    :class:`repro.core.hatp.HATP`) expose ``max_samples_per_round`` /
+    ``max_rounds`` budgets so that the pure-Python RR-set engine cannot run
+    away on large inputs.  By default hitting the budget makes the algorithm
+    fall back to a best-effort decision; callers that prefer a hard failure
+    can request ``on_budget="raise"`` and will receive this exception.
+    """

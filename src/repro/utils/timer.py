@@ -1,0 +1,75 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_seconds(0.0123)
+    '12.3ms'
+    >>> format_seconds(75.0)
+    '1m15.0s'
+    """
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rem:.1f}s"
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer, usable as a context manager.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Start (or restart) the current measurement interval."""
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the current interval and return total elapsed seconds."""
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """Whether an interval is currently open."""
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return format_seconds(self.elapsed)

@@ -1,0 +1,65 @@
+"""Small argument-validation helpers shared by the whole library."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.utils.exceptions import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str, allow_zero: bool = False) -> float:
+    """Validate that ``value`` lies in ``(0, 1]`` (or ``[0, 1]``)."""
+    lower_ok = value >= 0 if allow_zero else value > 0
+    if not (lower_ok and value <= 1):
+        bounds = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate ``low <= value <= high`` and return ``value``."""
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_node_ids(nodes: Iterable[int], n: int, name: str = "nodes") -> list[int]:
+    """Validate that every element of ``nodes`` is a valid node id in ``[0, n)``."""
+    result = []
+    for node in nodes:
+        node_int = int(node)
+        if node_int < 0 or node_int >= n:
+            raise ValidationError(
+                f"{name} contains {node!r}, which is not a valid node id in [0, {n})"
+            )
+        result.append(node_int)
+    return result
+
+
+def require_type(value: Any, expected: type, name: str) -> Any:
+    """Validate ``isinstance(value, expected)`` and return ``value``."""
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,141 @@
+"""Tests for the generic USM double-greedy routines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.double_greedy import (
+    deterministic_double_greedy,
+    deterministic_double_greedy_with_marginals,
+    greedy_maximize,
+    randomized_double_greedy,
+)
+
+
+def modular(weights):
+    """A modular (additive) set function — double greedy must solve it exactly."""
+
+    def objective(selected):
+        return sum(weights.get(element, 0.0) for element in selected)
+
+    return objective
+
+
+def coverage_minus_cost(sets, cost):
+    """A classic nonnegative submodular objective: coverage minus |S|·cost."""
+
+    def objective(selected):
+        covered = set()
+        for element in selected:
+            covered |= sets.get(element, set())
+        return len(covered) - cost * len(selected)
+
+    return objective
+
+
+class TestDeterministicDoubleGreedy:
+    def test_modular_function_solved_exactly(self):
+        weights = {1: 2.0, 2: -1.0, 3: 0.5, 4: -3.0}
+        selected, value = deterministic_double_greedy(list(weights), modular(weights))
+        assert selected == {1, 3}
+        assert value == pytest.approx(2.5)
+
+    def test_empty_when_everything_hurts(self):
+        weights = {1: -1.0, 2: -2.0}
+        selected, value = deterministic_double_greedy(list(weights), modular(weights))
+        assert selected == set()
+        assert value == 0.0
+
+    def test_everything_selected_when_everything_helps(self):
+        weights = {1: 1.0, 2: 2.0}
+        selected, _ = deterministic_double_greedy(list(weights), modular(weights))
+        assert selected == {1, 2}
+
+    def test_coverage_objective_one_third_guarantee(self):
+        sets = {1: {10, 11}, 2: {11, 12}, 3: {13}, 4: {10, 11, 12, 13}}
+        objective = coverage_minus_cost(sets, cost=0.75)
+        selected, value = deterministic_double_greedy(list(sets), objective)
+        # brute-force optimum
+        import itertools
+
+        best = max(
+            objective(set(combo))
+            for size in range(5)
+            for combo in itertools.combinations(sets, size)
+        )
+        assert value >= best / 3.0 - 1e-9
+
+    def test_marginal_driven_variant_agrees(self):
+        weights = {1: 2.0, 2: -1.0, 3: 0.5}
+        objective = modular(weights)
+
+        def add_gain(element, selected):
+            return objective(selected | {element}) - objective(selected)
+
+        def remove_gain(element, kept):
+            return objective(kept - {element}) - objective(kept)
+
+        selected = deterministic_double_greedy_with_marginals(
+            list(weights), add_gain, remove_gain
+        )
+        assert selected == deterministic_double_greedy(list(weights), objective)[0]
+
+
+class TestRandomizedDoubleGreedy:
+    def test_modular_function_solved_exactly(self, rng):
+        # for modular functions one of the two gains is always <= 0, so the
+        # randomized variant makes the same deterministic choices
+        weights = {1: 2.0, 2: -1.0, 3: 0.5}
+        selected, _ = randomized_double_greedy(list(weights), modular(weights), rng)
+        assert selected == {1, 3}
+
+    def test_respects_seed(self):
+        sets = {1: {10, 11}, 2: {11, 12}, 3: {12, 13}}
+        objective = coverage_minus_cost(sets, cost=1.0)
+        first, _ = randomized_double_greedy(list(sets), objective, random_state=3)
+        second, _ = randomized_double_greedy(list(sets), objective, random_state=3)
+        assert first == second
+
+    @given(st.dictionaries(st.integers(0, 8), st.floats(-3, 3, allow_nan=False), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_output_always_subset_of_ground_set(self, weights):
+        selected, _ = randomized_double_greedy(list(weights), modular(weights), 0)
+        assert selected <= set(weights)
+
+
+class TestGreedyMaximize:
+    def test_stops_when_no_gain(self):
+        weights = {1: 1.0, 2: -5.0}
+        selected, value = greedy_maximize(list(weights), modular(weights))
+        assert selected == [1]
+        assert value == 1.0
+
+    def test_max_size_respected(self):
+        weights = {1: 3.0, 2: 2.0, 3: 1.0}
+        selected, _ = greedy_maximize(list(weights), modular(weights), max_size=2)
+        assert selected == [1, 2]
+
+    def test_picks_best_first(self):
+        sets = {1: {10}, 2: {10, 11, 12}, 3: {11}}
+        objective = coverage_minus_cost(sets, cost=0.0)
+        selected, _ = greedy_maximize(list(sets), objective, max_size=1)
+        assert selected == [2]
+
+
+weight_values = st.floats(-5, 5, allow_nan=False).filter(
+    lambda w: w == 0.0 or abs(w) > 1e-6  # keep away from float-absorption territory
+)
+
+
+@given(st.dictionaries(st.integers(0, 10), weight_values, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_double_greedy_matches_optimum_for_modular_functions(weights):
+    """Property: for modular f, double greedy attains the exact optimum."""
+    selected, value = deterministic_double_greedy(list(weights), modular(weights))
+    optimum = sum(w for w in weights.values() if w > 0)
+    assert value == pytest.approx(optimum)
+    positive = {element for element, weight in weights.items() if weight > 0}
+    non_negative = {element for element, weight in weights.items() if weight >= 0}
+    assert positive <= selected <= non_negative

@@ -1,0 +1,78 @@
+"""Tests for the IMM-style greedy max-coverage target selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.imm import (
+    estimate_influence,
+    greedy_max_coverage,
+    top_k_influential,
+)
+from repro.graphs.generators import path_graph, star_graph
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.exceptions import ValidationError
+
+
+class TestGreedyMaxCoverage:
+    def test_picks_node_covering_most_sets(self):
+        collection = RRCollection([{0, 1}, {0, 2}, {0, 3}, {4}], num_active_nodes=5)
+        chosen, spread = greedy_max_coverage(collection, k=1)
+        assert chosen == [0]
+        assert spread == pytest.approx(3 * 5 / 4)
+
+    def test_second_pick_complements_first(self):
+        collection = RRCollection([{0, 1}, {0, 2}, {3}, {3, 4}], num_active_nodes=5)
+        chosen, spread = greedy_max_coverage(collection, k=2)
+        assert chosen == [0, 3]
+        assert spread == pytest.approx(5.0)
+
+    def test_candidate_restriction(self):
+        collection = RRCollection([{0, 1}, {0, 2}, {3}], num_active_nodes=4)
+        chosen, _ = greedy_max_coverage(collection, k=1, candidates=[1, 3])
+        assert chosen in ([1], [3])
+
+    def test_k_larger_than_distinct_nodes(self):
+        collection = RRCollection([{0}, {0}], num_active_nodes=2)
+        chosen, _ = greedy_max_coverage(collection, k=5)
+        assert chosen == [0]
+
+    def test_invalid_k(self):
+        collection = RRCollection([{0}], num_active_nodes=1)
+        with pytest.raises(ValidationError):
+            greedy_max_coverage(collection, k=0)
+
+
+class TestTopKInfluential:
+    def test_hub_ranked_first(self, star6):
+        top = top_k_influential(star6, k=1, num_samples=500, random_state=0)
+        assert top == [0]
+
+    def test_returns_exactly_k_distinct_nodes(self, small_proxy):
+        top = top_k_influential(small_proxy, k=8, num_samples=400, random_state=0)
+        assert len(top) == 8
+        assert len(set(top)) == 8
+
+    def test_k_equal_to_n(self, path4):
+        top = top_k_influential(path4, k=4, num_samples=200, random_state=0)
+        assert sorted(top) == [0, 1, 2, 3]
+
+    def test_k_larger_than_n_rejected(self, path4):
+        with pytest.raises(ValidationError):
+            top_k_influential(path4, k=10)
+
+    def test_early_path_nodes_rank_higher(self, path4):
+        top = top_k_influential(path4, k=2, num_samples=400, random_state=0)
+        assert top[0] == 0
+
+
+class TestEstimateInfluence:
+    def test_deterministic_path(self, path4):
+        assert estimate_influence(path4, [0], num_samples=400, random_state=0) == pytest.approx(
+            4.0
+        )
+
+    def test_probabilistic_star(self):
+        graph = star_graph(6).with_uniform_probability(0.5)
+        estimate = estimate_influence(graph, [0], num_samples=8000, random_state=0)
+        assert estimate == pytest.approx(3.5, abs=0.2)

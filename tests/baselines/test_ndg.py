@@ -1,0 +1,70 @@
+"""Tests for NDG (nonadaptive double greedy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ndg import NDG
+from repro.graphs.generators import path_graph, star_graph
+from repro.utils.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValidationError):
+            NDG([])
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            NDG([1], num_samples=0)
+
+
+class TestSelection:
+    def test_selects_profitable_hub(self, star6):
+        selection = NDG([0], num_samples=500, random_state=0).select(star6, {0: 1.0})
+        assert selection.seeds == [0]
+
+    def test_rejects_unprofitable_leaf(self, star6):
+        selection = NDG([1], num_samples=500, random_state=0).select(star6, {1: 4.0})
+        assert selection.seeds == []
+
+    def test_redundant_node_rejected_after_hub(self, path4):
+        # once node 0 is kept, node 2's estimated marginal spread given {0}
+        # is zero on the deterministic path but its cost is positive
+        costs = {0: 0.5, 2: 0.5}
+        selection = NDG([0, 2], num_samples=500, random_state=0).select(path4, costs)
+        assert selection.seeds == [0]
+
+    def test_estimated_profit_reported(self, star6):
+        selection = NDG([0], num_samples=500, random_state=0).select(star6, {0: 1.0})
+        assert selection.estimated_profit == pytest.approx(5.0, abs=0.5)
+
+    def test_iteration_log_covers_target(self, star6):
+        selection = NDG([0, 1, 2], num_samples=400, random_state=0).select(star6, {})
+        assert [record.node for record in selection.iterations] == [0, 1, 2]
+
+    def test_randomized_variant_name_and_determinism(self, star6):
+        first = NDG([0, 1], num_samples=300, randomized=True, random_state=3).select(
+            star6, {0: 1.0, 1: 1.0}
+        )
+        second = NDG([0, 1], num_samples=300, randomized=True, random_state=3).select(
+            star6, {0: 1.0, 1: 1.0}
+        )
+        assert first.algorithm == "NDG-randomized"
+        assert first.seeds == second.seeds
+
+    def test_randomized_variant_keeps_clear_winners(self, star6):
+        # positive add-gain and negative remove-gain → keep probability 1
+        selection = NDG([0], num_samples=400, randomized=True, random_state=0).select(
+            star6, {0: 1.0}
+        )
+        assert selection.seeds == [0]
+
+    def test_reproducible(self, small_proxy, small_instance):
+        runs = [
+            NDG(small_instance.target, num_samples=300, random_state=17)
+            .select(small_proxy, small_instance.costs)
+            .seeds
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

@@ -1,0 +1,71 @@
+"""Tests for NSG (nonadaptive simple greedy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.nsg import NSG
+from repro.graphs.generators import path_graph, star_graph
+from repro.utils.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValidationError):
+            NSG([])
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValidationError):
+            NSG([1], num_samples=0)
+
+    def test_properties(self):
+        algorithm = NSG([1, 2], num_samples=500)
+        assert algorithm.target == [1, 2]
+        assert algorithm.num_samples == 500
+
+
+class TestSelection:
+    def test_picks_hub_before_leaves(self, star6):
+        costs = {node: 0.5 for node in range(6)}
+        selection = NSG(list(range(6)), num_samples=800, random_state=0).select(star6, costs)
+        assert selection.seeds[0] == 0
+
+    def test_stops_when_marginal_profit_nonpositive(self, star6):
+        # once the hub is chosen the leaves add no coverage but still cost 0.5
+        costs = {node: 0.5 for node in range(6)}
+        selection = NSG(list(range(6)), num_samples=800, random_state=0).select(star6, costs)
+        assert selection.seeds == [0]
+
+    def test_selects_nothing_if_everything_unprofitable(self, star6):
+        costs = {node: 50.0 for node in range(6)}
+        selection = NSG(list(range(6)), num_samples=400, random_state=0).select(star6, costs)
+        assert selection.seeds == []
+        assert selection.estimated_profit == pytest.approx(0.0)
+
+    def test_estimated_profit_consistency(self, path4):
+        costs = {0: 1.0}
+        selection = NSG([0], num_samples=600, random_state=0).select(path4, costs)
+        assert selection.seeds == [0]
+        # deterministic path: estimated spread is exactly 4
+        assert selection.estimated_profit == pytest.approx(3.0)
+
+    def test_respects_target_restriction(self, star6):
+        # the hub is not in the target, so NSG can only pick leaves
+        costs = {1: 0.1, 2: 0.1}
+        selection = NSG([1, 2], num_samples=400, random_state=0).select(star6, costs)
+        assert set(selection.seeds) <= {1, 2}
+
+    def test_bookkeeping(self, star6):
+        selection = NSG([0, 1], num_samples=300, random_state=0).select(star6, {0: 1.0})
+        assert selection.algorithm == "NSG"
+        assert selection.rr_sets_generated == 300
+        assert selection.runtime_seconds >= 0
+
+    def test_reproducible(self, small_proxy, small_instance):
+        runs = [
+            NSG(small_instance.target, num_samples=300, random_state=13)
+            .select(small_proxy, small_instance.costs)
+            .seeds
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]

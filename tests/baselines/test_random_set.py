@@ -1,0 +1,85 @@
+"""Tests for the RS / ARS baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_set import AdaptiveRandomSet, RandomSet
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.utils.exceptions import ValidationError
+
+
+class TestRandomSet:
+    def test_probability_one_selects_everything(self, star6):
+        selection = RandomSet([1, 2, 3], selection_probability=0.999999, random_state=0).select(
+            star6, {1: 1.0}
+        )
+        assert selection.seeds == [1, 2, 3]
+        assert selection.seed_cost == 1.0
+
+    def test_tiny_probability_selects_nothing(self, star6):
+        selection = RandomSet([1, 2, 3], selection_probability=1e-9, random_state=0).select(
+            star6, {}
+        )
+        assert selection.seeds == []
+
+    def test_selection_rate_near_half(self, star6):
+        target = list(range(6))
+        counts = 0
+        for seed in range(200):
+            counts += len(RandomSet(target, random_state=seed).select(star6, {}).seeds)
+        assert counts / (200 * 6) == pytest.approx(0.5, abs=0.07)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            RandomSet([1], selection_probability=1.5)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValidationError):
+            RandomSet([])
+
+
+class TestAdaptiveRandomSet:
+    def test_probability_one_behaves_like_greedy_scan(self, path4):
+        world = Realization.sample(path4, 0)  # deterministic path, all live
+        session = AdaptiveSession(path4, world, {0: 0.5, 2: 0.5})
+        result = AdaptiveRandomSet([0, 2], selection_probability=0.999999, random_state=0).run(
+            session
+        )
+        # node 0 activates everything, so node 2 is skipped — never selected
+        assert result.seeds == [0]
+        assert result.realized_spread == 4
+        actions = {record.node: record.action for record in result.iterations}
+        assert actions[2] == "skipped-activated"
+
+    def test_zero_probability_selects_nothing(self, path4):
+        session = AdaptiveSession(path4, Realization.sample(path4, 0), {})
+        result = AdaptiveRandomSet([0, 1], selection_probability=1e-9, random_state=0).run(
+            session
+        )
+        assert result.seeds == []
+        assert result.realized_profit == 0.0
+
+    def test_profit_accounting(self, star6):
+        costs = {0: 2.0}
+        session = AdaptiveSession(star6, Realization.sample(star6, 0), costs)
+        result = AdaptiveRandomSet([0], selection_probability=0.999999, random_state=1).run(
+            session
+        )
+        assert result.realized_profit == pytest.approx(6 - 2.0)
+
+    def test_reproducible(self, small_proxy, small_instance):
+        def run_once():
+            session = AdaptiveSession(
+                small_proxy, Realization.sample(small_proxy, 2), small_instance.costs
+            )
+            return AdaptiveRandomSet(small_instance.target, random_state=5).run(session)
+
+        assert run_once().seeds == run_once().seeds
+
+    def test_name_attributes(self):
+        assert RandomSet([1]).name == "RS"
+        assert AdaptiveRandomSet([1]).name == "ARS"

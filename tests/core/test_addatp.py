@@ -1,0 +1,148 @@
+"""Tests for ADDATP (noise model, additive error)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.addatp import ADDATP
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.utils.exceptions import SamplingBudgetExceeded, ValidationError
+
+
+def make_session(graph, costs, seed=0):
+    return AdaptiveSession(graph, Realization.sample(graph, seed), costs)
+
+
+class TestConstruction:
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValidationError):
+            ADDATP([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            ADDATP([1, 1])
+
+    def test_rejects_bad_on_budget(self):
+        with pytest.raises(ValidationError):
+            ADDATP([1], on_budget="ignore")
+
+    def test_target_copy(self):
+        algorithm = ADDATP([1, 2])
+        algorithm.target.append(3)
+        assert algorithm.target == [1, 2]
+
+
+class TestDecisions:
+    def test_selects_clearly_profitable_hub(self, star6):
+        costs = {0: 1.0}
+        result = ADDATP([0], random_state=0, max_samples_per_round=400).run(
+            make_session(star6, costs)
+        )
+        assert result.seeds == [0]
+        assert result.realized_profit == pytest.approx(5.0)
+
+    def test_rejects_clearly_unprofitable_leaf(self, star6):
+        costs = {1: 4.0}
+        result = ADDATP([1], random_state=0, max_samples_per_round=400).run(
+            make_session(star6, costs)
+        )
+        assert result.seeds == []
+
+    def test_skips_activated_candidates(self, path4):
+        costs = {0: 0.1, 2: 0.1}
+        result = ADDATP([0, 2], random_state=0, max_samples_per_round=200).run(
+            make_session(path4, costs)
+        )
+        assert result.seeds == [0]
+        actions = {record.node: record.action for record in result.iterations}
+        assert actions[2] == "skipped-activated"
+
+    def test_free_node_selected(self, path4):
+        result = ADDATP([3], random_state=0, max_samples_per_round=100).run(
+            make_session(path4, {})
+        )
+        assert result.seeds == [3]
+
+    def test_result_bookkeeping(self, star6):
+        costs = {0: 1.0, 1: 1.0}
+        result = ADDATP([0, 1], random_state=0, max_samples_per_round=200).run(
+            make_session(star6, costs)
+        )
+        assert result.algorithm == "ADDATP"
+        assert result.rr_sets_generated > 0
+        assert result.runtime_seconds >= 0
+        assert len(result.iterations) == 2
+        assert result.seed_cost == pytest.approx(sum(costs[s] for s in result.seeds))
+
+
+class TestBudgets:
+    def test_budget_raise_mode(self, star6):
+        # an impossible cap forces the first round to exceed the budget while
+        # the wide additive error keeps both stopping conditions silent
+        algorithm = ADDATP(
+            [0],
+            initial_scaled_error=4.0,
+            max_samples_per_round=3,
+            max_rounds=1,
+            on_budget="raise",
+            random_state=0,
+        )
+        costs = {0: 3.0}
+        with pytest.raises(SamplingBudgetExceeded):
+            algorithm.run(make_session(star6, costs))
+
+    def test_budget_decide_mode_still_terminates(self, star6):
+        algorithm = ADDATP(
+            [0, 1, 2],
+            initial_scaled_error=4.0,
+            max_samples_per_round=3,
+            max_rounds=1,
+            on_budget="decide",
+            random_state=0,
+        )
+        costs = {0: 3.0, 1: 3.0, 2: 3.0}
+        result = algorithm.run(make_session(star6, costs))
+        assert len(result.iterations) == 3
+        assert result.extra["budget_hits"] >= 1
+
+    def test_worst_case_sample_size_is_quadratic(self):
+        algorithm = ADDATP([0])
+        assert algorithm.worst_case_sample_size(1000) > 100 * algorithm.worst_case_sample_size(100)
+
+
+class TestDynamicThreshold:
+    def test_dynamic_variant_runs_and_records_flag(self, star6):
+        costs = {0: 1.0, 1: 1.0, 2: 1.0}
+        result = ADDATP(
+            [0, 1, 2], dynamic_threshold=True, random_state=0, max_samples_per_round=300
+        ).run(make_session(star6, costs))
+        assert result.extra["dynamic_threshold"] is True
+        assert len(result.iterations) == 3
+
+    def test_dynamic_and_fixed_agree_on_clear_cut_instances(self, star6):
+        costs = {0: 1.0}
+        fixed = ADDATP([0], random_state=1, max_samples_per_round=300).run(
+            make_session(star6, costs)
+        )
+        dynamic = ADDATP(
+            [0], dynamic_threshold=True, random_state=1, max_samples_per_round=300
+        ).run(make_session(star6, costs))
+        assert fixed.seeds == dynamic.seeds == [0]
+
+
+class TestReproducibility:
+    def test_same_seed_same_decisions(self, small_proxy, small_instance):
+        def run_once():
+            session = AdaptiveSession(
+                small_proxy, Realization.sample(small_proxy, 5), small_instance.costs
+            )
+            return ADDATP(
+                small_instance.target,
+                random_state=42,
+                max_samples_per_round=150,
+                max_rounds=3,
+            ).run(session)
+
+        assert run_once().seeds == run_once().seeds

@@ -1,0 +1,99 @@
+"""Tests for ADG (adaptive double greedy, oracle model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adg import ADG
+from repro.core.oracle import ExactSpreadOracle, ProfitOracle
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.toy import TOY_NODE_IDS, toy_costs, toy_fig1_realization
+from repro.utils.exceptions import ValidationError
+
+
+def make_session(graph, costs, seed=0):
+    return AdaptiveSession(graph, Realization.sample(graph, seed), costs)
+
+
+class TestConstruction:
+    def test_requires_nonempty_target(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {})
+        with pytest.raises(ValidationError):
+            ADG([], oracle)
+
+    def test_rejects_duplicate_targets(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {})
+        with pytest.raises(ValidationError):
+            ADG([0, 0], oracle)
+
+    def test_exposes_target_copy(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {})
+        adg = ADG([0, 1], oracle)
+        adg.target.append(99)
+        assert adg.target == [0, 1]
+
+
+class TestDecisions:
+    def test_selects_profitable_node(self, star6):
+        # hub spreads to 6 nodes at cost 1 → clearly profitable
+        oracle = ProfitOracle(ExactSpreadOracle(), {0: 1.0})
+        result = ADG([0], oracle).run(make_session(star6, {0: 1.0}))
+        assert result.seeds == [0]
+        assert result.realized_profit == pytest.approx(5.0)
+
+    def test_rejects_unprofitable_node(self, star6):
+        # leaf node 1 spreads only to itself but costs 3
+        oracle = ProfitOracle(ExactSpreadOracle(), {1: 3.0})
+        result = ADG([1], oracle).run(make_session(star6, {1: 3.0}))
+        assert result.seeds == []
+        assert result.realized_profit == 0.0
+
+    def test_skips_already_activated_nodes(self, path4):
+        # seeding 0 activates the whole deterministic path; 2 must be skipped
+        costs = {0: 0.5, 2: 0.5}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        result = ADG([0, 2], oracle).run(make_session(path4, costs))
+        assert result.seeds == [0]
+        actions = {record.node: record.action for record in result.iterations}
+        assert actions[2] == "skipped-activated"
+
+    def test_free_nodes_always_selected(self, path4):
+        oracle = ProfitOracle(ExactSpreadOracle(), {})
+        result = ADG([3], oracle).run(make_session(path4, {}))
+        assert result.seeds == [3]
+
+    def test_iteration_log_complete(self, star6):
+        costs = {1: 0.5, 2: 0.5}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        result = ADG([1, 2], oracle).run(make_session(star6, costs))
+        assert len(result.iterations) == 2
+        assert all(record.action in {"selected", "rejected", "skipped-activated"}
+                   for record in result.iterations)
+
+
+class TestToyExample:
+    def test_adg_matches_fig1_walkthrough(self):
+        """On the Fig. 1 possible world ADG seeds {v2, v6} for a profit of 3."""
+        realization, graph = toy_fig1_realization()
+        costs = toy_costs()
+        session = AdaptiveSession(graph, realization, costs)
+        target = [TOY_NODE_IDS["v2"], TOY_NODE_IDS["v1"], TOY_NODE_IDS["v6"]]
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        result = ADG(target, oracle).run(session)
+        assert set(result.seeds) == {TOY_NODE_IDS["v2"], TOY_NODE_IDS["v6"]}
+        assert result.realized_profit == pytest.approx(3.0)
+
+
+class TestFrontRearInvariant:
+    def test_front_plus_rear_nonnegative(self, diamond):
+        """Lemma 1: ρ_f + ρ_r >= 0 whenever the examined node is inactive."""
+        costs = {0: 1.0, 1: 1.0, 2: 1.0}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        result = ADG([0, 1, 2], oracle).run(make_session(diamond, costs, seed=3))
+        for record in result.iterations:
+            if record.action == "skipped-activated":
+                continue
+            assert record.front_estimate + record.rear_estimate >= -1e-9

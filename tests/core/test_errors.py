@@ -1,0 +1,156 @@
+"""Tests for the sampling-error schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import (
+    AdditiveErrorSchedule,
+    AdditiveErrorState,
+    DynamicThresholdState,
+    HybridErrorSchedule,
+    HybridErrorState,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestAdditiveSchedule:
+    def test_initial_state(self):
+        schedule = AdditiveErrorSchedule(zeta0=0.32, delta0=0.001)
+        state = schedule.initial()
+        assert state.zeta == 0.32
+        assert state.delta == 0.001
+        assert state.round_index == 0
+
+    def test_refine_divides_by_sqrt2_and_2(self):
+        schedule = AdditiveErrorSchedule(zeta0=0.32, delta0=0.001)
+        state = schedule.refine(schedule.initial())
+        assert state.zeta == pytest.approx(0.32 / math.sqrt(2))
+        assert state.delta == pytest.approx(0.0005)
+        assert state.round_index == 1
+
+    def test_sample_size_formula(self):
+        schedule = AdditiveErrorSchedule(zeta0=0.1, delta0=0.01)
+        expected = math.ceil(math.log(8 / 0.01) / (2 * 0.1**2))
+        assert schedule.sample_size(schedule.initial()) == expected
+
+    def test_sample_size_doubles_each_round(self):
+        schedule = AdditiveErrorSchedule(zeta0=0.1, delta0=0.01)
+        state = schedule.initial()
+        first = schedule.sample_size(state)
+        second = schedule.sample_size(schedule.refine(state))
+        assert second >= 1.9 * first
+
+    def test_scaled_error(self):
+        assert AdditiveErrorState(zeta=0.1, delta=0.1).scaled_error(50) == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            AdditiveErrorSchedule(zeta0=0.0, delta0=0.1)
+        with pytest.raises(ValidationError):
+            AdditiveErrorSchedule(zeta0=0.1, delta0=1.5)
+
+
+class TestHybridSchedule:
+    def make(self, **overrides):
+        params = dict(
+            epsilon0=0.5, zeta0=0.32, delta0=0.001, epsilon_threshold=0.05, additive_floor=1.0
+        )
+        params.update(overrides)
+        return HybridErrorSchedule(**params)
+
+    def test_initial_state(self):
+        state = self.make().initial()
+        assert state.epsilon == 0.5
+        assert state.zeta == 0.32
+
+    def test_sample_size_formula(self):
+        schedule = self.make()
+        state = schedule.initial()
+        expected = math.ceil(
+            (1 + 0.5 / 3) ** 2 * math.log(4 / 0.001) / (2 * 0.5 * 0.32)
+        )
+        assert schedule.sample_size(state) == expected
+
+    def test_refine_halves_relative_error_for_large_estimates(self):
+        schedule = self.make()
+        state = schedule.initial()
+        # estimate far above the additive error → relative error is binding
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=1e6)
+        assert refined.epsilon == pytest.approx(0.25)
+        assert refined.zeta == pytest.approx(0.32)
+
+    def test_refine_halves_additive_error_for_small_estimates(self):
+        schedule = self.make()
+        state = schedule.initial()
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=0.0)
+        assert refined.zeta == pytest.approx(0.16)
+        assert refined.epsilon == pytest.approx(0.5)
+
+    def test_refine_shrinks_both_in_the_middle(self):
+        schedule = self.make()
+        state = schedule.initial()
+        # additive error is 32; an estimate of 100 is neither >= 10x nor <= 1x
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=100.0)
+        assert refined.epsilon == pytest.approx(0.5 / math.sqrt(2))
+        assert refined.zeta == pytest.approx(0.32 / math.sqrt(2))
+
+    def test_refine_respects_epsilon_floor(self):
+        schedule = self.make(epsilon0=0.06)
+        state = schedule.initial()
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=1e6)
+        assert refined.epsilon >= schedule.epsilon_threshold
+
+    def test_refine_switches_to_zeta_when_epsilon_at_floor(self):
+        schedule = self.make()
+        state = HybridErrorState(epsilon=0.05, zeta=0.32, delta=0.001)
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=50.0)
+        assert refined.zeta == pytest.approx(0.16)
+
+    def test_refine_switches_to_epsilon_when_zeta_at_floor(self):
+        schedule = self.make()
+        state = HybridErrorState(epsilon=0.5, zeta=0.005, delta=0.001)
+        refined = schedule.refine(state, num_active_nodes=100, front_estimate=50.0)
+        assert refined.epsilon == pytest.approx(0.25)
+
+    def test_is_exhausted(self):
+        schedule = self.make()
+        assert schedule.is_exhausted(
+            HybridErrorState(epsilon=0.05, zeta=0.005, delta=0.1), num_active_nodes=100
+        )
+        assert not schedule.is_exhausted(
+            HybridErrorState(epsilon=0.05, zeta=0.32, delta=0.1), num_active_nodes=100
+        )
+
+    def test_delta_halves_every_round(self):
+        schedule = self.make()
+        refined = schedule.refine(schedule.initial(), 100, 50.0)
+        assert refined.delta == pytest.approx(0.0005)
+
+    def test_epsilon0_must_exceed_threshold(self):
+        with pytest.raises(ValidationError):
+            HybridErrorSchedule(
+                epsilon0=0.01, zeta0=0.1, delta0=0.01, epsilon_threshold=0.05
+            )
+
+
+class TestDynamicThreshold:
+    def test_default_threshold_when_no_budget(self):
+        state = DynamicThresholdState(epsilon=0.1)
+        assert state.next_threshold() == 1.0
+
+    def test_threshold_grows_with_accumulated_profit(self):
+        state = DynamicThresholdState(epsilon=0.1, accumulated_profit=1000.0)
+        # budget = 100 ≥ 2*0 + 2 → threshold (100 − 0 − 2)/2 = 49
+        assert state.next_threshold() == pytest.approx(49.0)
+
+    def test_after_iteration_accumulates(self):
+        state = DynamicThresholdState(epsilon=0.1)
+        state = state.after_iteration(profit_gained=50.0, stopped_by_c2=True, threshold_used=1.0)
+        assert state.accumulated_profit == 50.0
+        assert state.accumulated_slack == 1.0
+        state = state.after_iteration(profit_gained=-5.0, stopped_by_c2=False, threshold_used=1.0)
+        assert state.accumulated_profit == 50.0  # losses don't reduce the budget
+        assert state.accumulated_slack == 1.0

@@ -1,0 +1,106 @@
+"""Tests for HNTP (nonadaptive hybrid-error double greedy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hntp import HNTP
+from repro.core.session import AdaptiveSession
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.utils.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_rejects_empty_target(self):
+        with pytest.raises(ValidationError):
+            HNTP([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            HNTP([1, 1])
+
+    def test_epsilon_ordering_enforced(self):
+        with pytest.raises(ValidationError):
+            HNTP([1], epsilon=0.3, epsilon0=0.1)
+
+
+class TestSelection:
+    def test_selects_profitable_hub(self, star6):
+        selection = HNTP([0], random_state=0, max_samples_per_round=400).select(
+            star6, {0: 1.0}
+        )
+        assert selection.seeds == [0]
+        assert selection.seed_cost == 1.0
+        assert selection.algorithm == "HNTP"
+
+    def test_rejects_unprofitable_leaf(self, star6):
+        selection = HNTP([1], random_state=0, max_samples_per_round=400).select(
+            star6, {1: 4.0}
+        )
+        assert selection.seeds == []
+
+    def test_no_feedback_keeps_nodes_with_positive_expected_marginal(self):
+        """HNTP decides from expected marginals on the full graph: node 2 has a
+        sizeable expected marginal (node 0 only reaches it with probability
+        0.36), so it is kept even though a specific realization may make it
+        redundant — the situation the adaptive algorithms exploit."""
+        graph = path_graph(4).with_uniform_probability(0.6)
+        costs = {0: 0.2, 2: 0.2}
+        selection = HNTP([0, 2], random_state=0, max_samples_per_round=500).select(
+            graph, costs
+        )
+        assert selection.seeds == [0, 2]
+
+    def test_bookkeeping(self, star6):
+        selection = HNTP([0, 1], random_state=0, max_samples_per_round=200).select(
+            star6, {0: 1.0, 1: 1.0}
+        )
+        assert selection.rr_sets_generated > 0
+        assert len(selection.iterations) == 2
+        assert selection.runtime_seconds >= 0
+
+    def test_reproducible(self, small_proxy, small_instance):
+        def run_once():
+            return HNTP(
+                small_instance.target,
+                random_state=21,
+                max_samples_per_round=150,
+                max_rounds=3,
+            ).select(small_proxy, small_instance.costs)
+
+        assert run_once().seeds == run_once().seeds
+
+
+class TestEvaluationAgainstRealizations:
+    def test_evaluation_profit_consistency(self, star6):
+        selection = HNTP([0], random_state=0, max_samples_per_round=300).select(
+            star6, {0: 1.0}
+        )
+        session = AdaptiveSession(star6, Realization.sample(star6, 0), {0: 1.0})
+        outcome = session.evaluate_nonadaptive(selection.seeds)
+        assert outcome.profit == pytest.approx(5.0)
+
+    def test_adaptive_counterpart_never_pays_for_activated_nodes(self):
+        """Under a realization where node 0 happens to activate node 2, the
+        adaptive HATP observes that and skips node 2, while HNTP (committed in
+        advance) pays for both — the cost side of the adaptivity advantage."""
+        from repro.core.hatp import HATP
+
+        graph = path_graph(4).with_uniform_probability(0.6)
+        costs = {0: 0.2, 2: 0.2}
+        hntp_selection = HNTP([0, 2], random_state=0, max_samples_per_round=500).select(
+            graph, costs
+        )
+        assert hntp_selection.seeds == [0, 2]
+
+        # a possible world in which every influence attempt succeeds
+        all_live = Realization.from_live_edge_ids(graph, range(graph.m))
+        session = AdaptiveSession(graph, all_live, costs)
+        hatp_result = HATP([0, 2], random_state=0, max_samples_per_round=500).run(session)
+        assert hatp_result.seeds == [0]
+
+        hntp_profit = AdaptiveSession(graph, all_live, costs).evaluate_nonadaptive(
+            hntp_selection.seeds
+        ).profit
+        assert hatp_result.realized_profit > hntp_profit

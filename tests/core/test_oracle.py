@@ -1,0 +1,77 @@
+"""Tests for the spread / profit oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import (
+    ExactSpreadOracle,
+    MonteCarloSpreadOracle,
+    ProfitOracle,
+    RISSpreadOracle,
+)
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph
+from repro.utils.exceptions import ValidationError
+
+
+class TestExactOracle:
+    def test_expected_spread(self, diamond):
+        assert ExactSpreadOracle().expected_spread(diamond, [0]) == pytest.approx(2.75)
+
+    def test_marginal_spread(self, diamond):
+        oracle = ExactSpreadOracle()
+        expected = oracle.expected_spread(diamond, [0, 3]) - oracle.expected_spread(diamond, [0])
+        assert oracle.marginal_spread(diamond, 3, [0]) == pytest.approx(expected)
+
+    def test_guard(self):
+        big = ProbabilisticGraph.from_edge_list(
+            [(i, i + 1, 0.5) for i in range(30)], n=31
+        )
+        with pytest.raises(ValidationError):
+            ExactSpreadOracle(max_edges=10).expected_spread(big, [0])
+
+
+class TestSamplingOracles:
+    @pytest.mark.parametrize(
+        "oracle",
+        [MonteCarloSpreadOracle(2000, random_state=0), RISSpreadOracle(4000, random_state=0)],
+        ids=["monte-carlo", "ris"],
+    )
+    def test_matches_exact_on_diamond(self, diamond, oracle):
+        assert oracle.expected_spread(diamond, [0]) == pytest.approx(2.75, abs=0.15)
+
+    def test_monte_carlo_marginal(self, diamond):
+        oracle = MonteCarloSpreadOracle(2000, random_state=0)
+        exact = ExactSpreadOracle().marginal_spread(diamond, 3, [0])
+        assert oracle.marginal_spread(diamond, 3, [0]) == pytest.approx(exact, abs=0.15)
+
+    def test_ris_marginal_respects_conditioning(self, path4):
+        oracle = RISSpreadOracle(500, random_state=0)
+        # node 1 conditioned on node 0 adds nothing on a deterministic path
+        assert oracle.marginal_spread(path4, 1, [0]) == 0.0
+
+    def test_oracles_work_on_residual_views(self, diamond):
+        residual = ResidualGraph(diamond).without([1])
+        assert ExactSpreadOracle().expected_spread(residual, [0]) == pytest.approx(2.0)
+
+
+class TestProfitOracle:
+    def test_expected_profit(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {0: 1.0})
+        assert oracle.expected_profit(diamond, [0]) == pytest.approx(1.75)
+
+    def test_marginal_profit_definition3(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {3: 0.5})
+        expected = ExactSpreadOracle().marginal_spread(diamond, 3, [0]) - 0.5
+        assert oracle.marginal_profit(diamond, 3, [0]) == pytest.approx(expected)
+
+    def test_marginal_profit_zero_for_member(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {0: 1.0})
+        assert oracle.marginal_profit(diamond, 0, [0, 2]) == 0.0
+
+    def test_cost_of_unknown_node_is_zero(self, diamond):
+        oracle = ProfitOracle(ExactSpreadOracle(), {})
+        assert oracle.cost([0, 1]) == 0.0
+        assert oracle.expected_profit(diamond, [0]) == pytest.approx(2.75)

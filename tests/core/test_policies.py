@@ -1,0 +1,128 @@
+"""Tests for the policy algebra (Definitions 4–6) and exact policy profits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adg import ADG
+from repro.core.oracle import ExactSpreadOracle, ProfitOracle
+from repro.core.policies import (
+    adaptive_algorithm_policy,
+    enumerate_realizations,
+    exact_policy_profit,
+    expected_policy_profit_sampled,
+    fixed_set_policy,
+    omniscient_profit_upper_bound,
+    optimal_nonadaptive_profit,
+    truncated_policy,
+)
+from repro.diffusion.realization import Realization, sample_realizations
+from repro.diffusion.spread import exact_expected_spread
+from repro.graphs.generators import path_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self, diamond):
+        worlds = enumerate_realizations(diamond)
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+
+    def test_world_count(self, diamond):
+        # 2 probabilistic edges (0.5) and 2 deterministic edges (1.0): the
+        # zero-probability patterns are dropped, leaving 2^2 worlds.
+        assert len(enumerate_realizations(diamond)) == 4
+
+    def test_guard_on_large_graphs(self):
+        big = ProbabilisticGraph.from_edge_list([(i, i + 1, 0.5) for i in range(20)], n=21)
+        with pytest.raises(ValidationError):
+            enumerate_realizations(big, max_edges=10)
+
+
+class TestPolicyAlgebra:
+    def test_fixed_policy_constant(self, diamond):
+        policy = fixed_set_policy({1, 2})
+        world = Realization.sample(diamond, 0)
+        assert policy.seed_set(world) == {1, 2}
+
+    def test_concatenation_is_union(self, diamond):
+        world = Realization.sample(diamond, 0)
+        left = fixed_set_policy({0, 1})
+        right = fixed_set_policy({1, 3})
+        assert (left | right).seed_set(world) == {0, 1, 3}
+
+    def test_intersection_is_intersection(self, diamond):
+        world = Realization.sample(diamond, 0)
+        left = fixed_set_policy({0, 1})
+        right = fixed_set_policy({1, 3})
+        assert (left & right).seed_set(world) == {1}
+
+    def test_operators_compose(self, diamond):
+        world = Realization.sample(diamond, 0)
+        a, b, c = fixed_set_policy({0}), fixed_set_policy({1}), fixed_set_policy({0, 1, 2})
+        assert ((a | b) & c).seed_set(world) == {0, 1}
+
+    def test_adaptive_policy_wrapper_depends_on_realization(self, path4):
+        """An adaptive policy's seed set genuinely varies with the realization."""
+        costs = {0: 0.5, 2: 0.5}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        policy = adaptive_algorithm_policy(
+            lambda: ADG([0, 2], oracle), path4, costs, name="adg"
+        )
+        all_live = Realization.from_live_edge_ids(path4, [0, 1, 2])
+        all_blocked = Realization.from_live_edge_ids(path4, [])
+        assert policy.seed_set(all_live) == {0}
+        assert policy.seed_set(all_blocked) == {0, 2}
+
+    def test_truncated_policy_examines_prefix_only(self, path4):
+        costs = {0: 0.5, 3: 0.5}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        policy = truncated_policy(
+            lambda target: ADG(target, oracle), path4, costs, target=[0, 3], level=1
+        )
+        world = Realization.from_live_edge_ids(path4, [])
+        assert policy.seed_set(world) == {0}
+
+    def test_truncation_level_zero_selects_nothing(self, path4):
+        costs = {0: 0.5}
+        oracle = ProfitOracle(ExactSpreadOracle(), costs)
+        policy = truncated_policy(
+            lambda target: ADG(target, oracle), path4, costs, target=[0], level=0
+        )
+        assert policy.seed_set(Realization.sample(path4, 0)) == set()
+
+
+class TestExactProfits:
+    def test_fixed_policy_profit_matches_expected_spread(self, diamond):
+        costs = {0: 1.0}
+        policy = fixed_set_policy({0})
+        value = exact_policy_profit(policy, diamond, costs)
+        assert value == pytest.approx(exact_expected_spread(diamond, [0]) - 1.0)
+
+    def test_optimal_nonadaptive_bruteforce(self, diamond):
+        costs = {0: 0.5, 1: 0.5, 2: 0.5}
+        best_value, best_set = optimal_nonadaptive_profit(diamond, [0, 1, 2], costs)
+        # check optimality against every candidate subset explicitly
+        for candidate in [set(), {0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}]:
+            value = exact_expected_spread(diamond, candidate) - 0.5 * len(candidate)
+            assert best_value >= value - 1e-9
+        assert exact_expected_spread(diamond, best_set) - 0.5 * len(best_set) == pytest.approx(
+            best_value
+        )
+
+    def test_omniscient_upper_bound_dominates_nonadaptive(self, diamond):
+        costs = {0: 0.5, 1: 0.5, 2: 0.5}
+        nonadaptive, _ = optimal_nonadaptive_profit(diamond, [0, 1, 2], costs)
+        omniscient = omniscient_profit_upper_bound(diamond, [0, 1, 2], costs)
+        assert omniscient >= nonadaptive - 1e-9
+
+    def test_sampled_profit_close_to_exact(self, diamond):
+        costs = {0: 1.0}
+        policy = fixed_set_policy({0})
+        realizations = sample_realizations(diamond, 3000, random_state=0)
+        sampled = expected_policy_profit_sampled(policy, diamond, costs, realizations)
+        exact = exact_policy_profit(policy, diamond, costs)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_sampled_profit_empty_realizations(self, diamond):
+        assert expected_policy_profit_sampled(fixed_set_policy({0}), diamond, {}, []) == 0.0

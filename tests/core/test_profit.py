@@ -1,0 +1,59 @@
+"""Tests for profit functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profit import (
+    profit_from_spread,
+    realized_profit,
+    realized_spread,
+    total_cost,
+    validate_costs,
+)
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph
+from repro.graphs.residual import ResidualGraph
+from repro.utils.exceptions import ValidationError
+
+
+class TestTotalCost:
+    def test_sum_of_known_costs(self):
+        assert total_cost({1: 2.0, 2: 3.0}, [1, 2]) == 5.0
+
+    def test_missing_nodes_are_free(self):
+        assert total_cost({1: 2.0}, [1, 7]) == 2.0
+
+    def test_empty_set(self):
+        assert total_cost({1: 2.0}, []) == 0.0
+
+
+class TestValidateCosts:
+    def test_copies_and_casts(self):
+        validated = validate_costs({"3": 1})  # type: ignore[dict-item]
+        assert validated == {3: 1.0}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validate_costs({1: -0.5})
+
+
+class TestProfit:
+    def test_profit_from_spread(self):
+        assert profit_from_spread(10.0, [1, 2], {1: 2.0, 2: 3.0}) == 5.0
+
+    def test_profit_can_be_negative(self):
+        assert profit_from_spread(1.0, [1], {1: 5.0}) == -4.0
+
+    def test_realized_profit_on_path(self, path4):
+        world = Realization.sample(path4, 0)  # all edges live
+        assert realized_profit(world, [0], {0: 1.5}) == pytest.approx(4 - 1.5)
+
+    def test_realized_profit_respects_residual(self, path4):
+        world = Realization.sample(path4, 0)
+        residual = ResidualGraph(path4).without([2, 3])
+        assert realized_profit(world, [0], {0: 1.0}, residual) == pytest.approx(2 - 1.0)
+
+    def test_realized_spread(self, path4):
+        world = Realization.sample(path4, 0)
+        assert realized_spread(world, [1]) == 3

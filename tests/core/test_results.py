@@ -1,0 +1,46 @@
+"""Tests for result containers."""
+
+from __future__ import annotations
+
+from repro.core.results import IterationRecord, NonadaptiveSelection, SeedingResult
+
+
+class TestSeedingResult:
+    def test_num_seeds(self):
+        result = SeedingResult("X", [1, 2, 3], 10.0, 7.0, 3.0)
+        assert result.num_seeds == 3
+
+    def test_summary_keys(self):
+        result = SeedingResult("X", [1], 5.0, 4.0, 1.0, rr_sets_generated=10)
+        summary = result.summary()
+        assert summary["algorithm"] == "X"
+        assert summary["profit"] == 4.0
+        assert summary["rr_sets"] == 10
+
+    def test_iteration_records_attached(self):
+        record = IterationRecord(node=3, action="selected", rounds=2)
+        result = SeedingResult("X", [3], 1.0, 0.0, 1.0, iterations=[record])
+        assert result.iterations[0].node == 3
+        assert result.iterations[0].action == "selected"
+
+
+class TestNonadaptiveSelection:
+    def test_to_seeding_result_carries_fields(self):
+        selection = NonadaptiveSelection(
+            algorithm="NSG",
+            seeds=[4, 5],
+            seed_cost=2.0,
+            estimated_profit=3.5,
+            rr_sets_generated=100,
+            runtime_seconds=0.25,
+        )
+        result = selection.to_seeding_result(realized_spread=6.0, realized_profit=4.0)
+        assert result.algorithm == "NSG"
+        assert result.seeds == [4, 5]
+        assert result.seed_cost == 2.0
+        assert result.realized_profit == 4.0
+        assert result.rr_sets_generated == 100
+        assert result.runtime_seconds == 0.25
+
+    def test_num_seeds(self):
+        assert NonadaptiveSelection("RS", [1, 2], 1.0).num_seeds == 2

@@ -1,0 +1,120 @@
+"""Tests for the adaptive seeding session (the feedback protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import AdaptiveSession, run_adaptive_policy
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture
+def path_session(path4):
+    """Session on a deterministic path with all edges live."""
+    world = Realization.sample(path4, 0)
+    return AdaptiveSession(path4, world, costs={0: 1.0, 2: 0.5})
+
+
+class TestCommitSeed:
+    def test_feedback_includes_seed_and_descendants(self, path_session):
+        activated = path_session.commit_seed(0)
+        assert activated == {0, 1, 2, 3}
+
+    def test_residual_shrinks(self, path_session):
+        path_session.commit_seed(0)
+        assert path_session.residual.num_active == 0
+        assert path_session.realized_spread == 4
+
+    def test_profit_accounting(self, path_session):
+        path_session.commit_seed(0)
+        assert path_session.seed_cost == 1.0
+        assert path_session.realized_profit == pytest.approx(3.0)
+
+    def test_second_seed_only_reaches_new_nodes(self, star6):
+        # star with hub 0: seeding a leaf first, then the hub
+        world = Realization.sample(star6, 0)
+        session = AdaptiveSession(star6, world, costs={})
+        assert session.commit_seed(3) == {3}
+        activated = session.commit_seed(0)
+        assert 3 not in activated
+        assert session.realized_spread == 6
+
+    def test_cannot_seed_activated_node(self, path_session):
+        path_session.commit_seed(0)
+        with pytest.raises(ValidationError):
+            path_session.commit_seed(2)
+
+    def test_invalid_node_rejected(self, path_session):
+        with pytest.raises(ValidationError):
+            path_session.commit_seed(99)
+
+    def test_is_activated(self, path_session):
+        assert not path_session.is_activated(1)
+        path_session.commit_seed(0)
+        assert path_session.is_activated(1)
+
+    def test_seeds_returned_in_order(self, star6):
+        world = Realization.sample(star6, 0)
+        session = AdaptiveSession(star6, world, costs={})
+        session.commit_seed(2)
+        session.commit_seed(1)
+        assert session.seeds == [2, 1]
+
+
+class TestEvaluateNonadaptive:
+    def test_profit_matches_manual_computation(self, path_session):
+        outcome = path_session.evaluate_nonadaptive([0, 2])
+        assert outcome.spread == 4
+        assert outcome.cost == 1.5
+        assert outcome.profit == pytest.approx(2.5)
+
+    def test_does_not_mutate_session(self, path_session):
+        path_session.evaluate_nonadaptive([0])
+        assert path_session.realized_spread == 0
+        assert path_session.residual.num_active == 4
+
+
+class TestConstruction:
+    def test_with_sampled_realization(self, path4):
+        session = AdaptiveSession.with_sampled_realization(path4, {}, random_state=0)
+        assert session.residual.num_active == 4
+
+    def test_mismatched_realization_rejected(self, path4):
+        other = ProbabilisticGraph.from_edge_list([(0, 1, 0.5)], n=2)
+        world = Realization.sample(other, 0)
+        with pytest.raises(ValidationError):
+            AdaptiveSession(path4, world, {})
+
+    def test_costs_copied(self, path4):
+        costs = {0: 1.0}
+        session = AdaptiveSession(path4, Realization.sample(path4, 0), costs)
+        costs[0] = 99.0
+        assert session.costs[0] == 1.0
+
+
+class TestRunAdaptivePolicy:
+    def test_runs_policy_against_fresh_session(self, path4):
+        class SeedEverything:
+            name = "seed-everything"
+
+            def run(self, session):
+                for node in range(session.graph.n):
+                    if not session.is_activated(node):
+                        session.commit_seed(node)
+                from repro.core.results import SeedingResult
+
+                return SeedingResult(
+                    algorithm=self.name,
+                    seeds=session.seeds,
+                    realized_spread=session.realized_spread,
+                    realized_profit=session.realized_profit,
+                    seed_cost=session.seed_cost,
+                )
+
+        world = Realization.sample(path4, 0)
+        result = run_adaptive_policy(SeedEverything(), path4, world, {})
+        assert result.realized_spread == 4
+        assert result.seeds == [0]

@@ -1,0 +1,124 @@
+"""Tests for target-set construction (the two experimental procedures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.targets import (
+    TPMInstance,
+    build_predefined_cost_instance,
+    build_spread_calibrated_instance,
+)
+from repro.utils.exceptions import ConfigurationError, ValidationError
+
+
+class TestSpreadCalibratedInstance:
+    def test_target_size(self, small_proxy):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=5, num_rr_sets=400, random_state=0
+        )
+        assert instance.k == 5
+        assert len(set(instance.target)) == 5
+
+    def test_costs_cover_target_only(self, small_proxy):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=5, num_rr_sets=400, random_state=0
+        )
+        assert set(instance.costs) == set(instance.target)
+
+    def test_total_cost_matches_calibration(self, small_proxy):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=5, num_rr_sets=400, random_state=0
+        )
+        assert instance.target_cost() == pytest.approx(
+            instance.cost_assignment.calibration_spread, rel=1e-6
+        )
+
+    def test_target_contains_influential_nodes(self, small_proxy):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=5, num_rr_sets=600, random_state=0
+        )
+        degrees = small_proxy.out_degrees
+        top_degree_node = int(degrees.argmax())
+        assert top_degree_node in instance.target
+
+    @pytest.mark.parametrize("setting", ["degree", "uniform", "random"])
+    def test_all_cost_settings_work(self, small_proxy, setting):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=4, cost_setting=setting, num_rr_sets=300, random_state=0
+        )
+        assert instance.cost_assignment.setting == setting
+        assert all(cost >= 0 for cost in instance.costs.values())
+
+    def test_invalid_k(self, small_proxy):
+        with pytest.raises(ValidationError):
+            build_spread_calibrated_instance(small_proxy, k=0)
+        with pytest.raises(ValidationError):
+            build_spread_calibrated_instance(small_proxy, k=small_proxy.n + 1)
+
+    def test_metadata(self, small_proxy):
+        instance = build_spread_calibrated_instance(
+            small_proxy, k=3, num_rr_sets=300, random_state=0
+        )
+        assert instance.metadata["procedure"] == "spread-calibrated"
+        assert instance.metadata["k"] == 3
+
+
+class TestPredefinedCostInstance:
+    def test_ndg_selector(self, small_proxy):
+        instance = build_predefined_cost_instance(
+            small_proxy, cost_ratio=0.5, selector="ndg", num_samples=400, random_state=0
+        )
+        assert instance.k > 0
+        assert set(instance.costs) == set(instance.target)
+        assert instance.metadata["selector"] == "ndg"
+
+    def test_nsg_selector(self, small_proxy):
+        instance = build_predefined_cost_instance(
+            small_proxy, cost_ratio=0.5, selector="nsg", num_samples=400, random_state=0
+        )
+        assert instance.k > 0
+        assert instance.metadata["lambda"] == 0.5
+
+    def test_invalid_selector(self, small_proxy):
+        with pytest.raises(ConfigurationError):
+            build_predefined_cost_instance(small_proxy, cost_ratio=0.5, selector="magic")
+
+    def test_max_target_size_cap(self, small_proxy):
+        instance = build_predefined_cost_instance(
+            small_proxy,
+            cost_ratio=0.2,
+            selector="ndg",
+            num_samples=400,
+            max_target_size=3,
+            random_state=0,
+        )
+        assert instance.k <= 3
+
+    def test_larger_lambda_means_smaller_or_equal_target(self, small_proxy):
+        cheap = build_predefined_cost_instance(
+            small_proxy, cost_ratio=0.2, selector="ndg", num_samples=400, random_state=0
+        )
+        expensive = build_predefined_cost_instance(
+            small_proxy, cost_ratio=5.0, selector="ndg", num_samples=400, random_state=0
+        )
+        assert expensive.metadata["selector_target_size"] <= cheap.metadata[
+            "selector_target_size"
+        ]
+
+    def test_fallback_when_nothing_profitable(self, small_proxy):
+        # an absurd λ makes every node unprofitable; the instance must still
+        # provide a nonempty target for downstream algorithms
+        instance = build_predefined_cost_instance(
+            small_proxy, cost_ratio=1000.0, selector="ndg", num_samples=300, random_state=0
+        )
+        assert instance.k > 0
+
+
+class TestTPMInstanceContainer:
+    def test_costs_property_is_plain_dict(self, small_instance):
+        assert isinstance(small_instance.costs, dict)
+
+    def test_target_cost_sums_entries(self, small_instance):
+        manual = sum(small_instance.costs[node] for node in small_instance.target)
+        assert small_instance.target_cost() == pytest.approx(manual)

@@ -1,0 +1,95 @@
+"""Property-based tests for diffusion invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.realization import Realization
+from repro.diffusion.spread import exact_expected_spread
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph
+
+
+@st.composite
+def small_probabilistic_graphs(draw):
+    """Graphs small enough for exact possible-world enumeration."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda uv: uv[0] != uv[1])
+    edges = draw(st.lists(pairs, max_size=7, unique=True))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    return ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs)
+
+
+@st.composite
+def graph_and_seed_sets(draw):
+    graph = draw(small_probabilistic_graphs())
+    nodes = st.integers(min_value=0, max_value=graph.n - 1)
+    smaller = draw(st.sets(nodes, max_size=graph.n))
+    extra = draw(st.sets(nodes, max_size=graph.n))
+    return graph, smaller, smaller | extra
+
+
+@given(graph_and_seed_sets())
+@settings(max_examples=40, deadline=None)
+def test_expected_spread_is_monotone(data):
+    """E[I(S)] is monotone non-decreasing in S."""
+    graph, smaller, larger = data
+    assert exact_expected_spread(graph, larger) >= exact_expected_spread(graph, smaller) - 1e-9
+
+
+@given(graph_and_seed_sets())
+@settings(max_examples=40, deadline=None)
+def test_expected_spread_bounds(data):
+    """|S| <= E[I(S)] <= n for nonempty S (seeds always count themselves)."""
+    graph, smaller, _larger = data
+    value = exact_expected_spread(graph, smaller)
+    assert value >= len(smaller) - 1e-9
+    assert value <= graph.n + 1e-9
+
+
+@given(graph_and_seed_sets(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_expected_spread_is_submodular_in_marginals(data, node):
+    """Marginal gain of a node shrinks as the base set grows (submodularity)."""
+    graph, smaller, larger = data
+    if node >= graph.n or node in larger:
+        return
+    gain_small = exact_expected_spread(graph, smaller | {node}) - exact_expected_spread(
+        graph, smaller
+    )
+    gain_large = exact_expected_spread(graph, larger | {node}) - exact_expected_spread(
+        graph, larger
+    )
+    assert gain_small >= gain_large - 1e-9
+
+
+@given(small_probabilistic_graphs(), st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=40, deadline=None)
+def test_realization_spread_never_exceeds_expected_support(graph, seed):
+    """Any realized spread lies between |S| and n."""
+    world = Realization.sample(graph, seed)
+    seeds = [0]
+    value = world.spread(seeds)
+    assert 1 <= value <= graph.n
+
+
+@given(small_probabilistic_graphs(), st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=30, deadline=None)
+def test_residual_spread_never_larger_than_full(graph, seed):
+    """Removing nodes can only reduce a realization's spread."""
+    world = Realization.sample(graph, seed)
+    full = world.spread([0])
+    removed = ResidualGraph(graph).without([graph.n - 1]) if graph.n > 1 else ResidualGraph(graph)
+    restricted = world.spread([0], removed)
+    assert restricted <= full

@@ -1,0 +1,74 @@
+"""Tests for the Linear Threshold model extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.lt_model import (
+    sample_lt_live_edges,
+    simulate_lt,
+    simulate_lt_spread,
+    validate_lt_weights,
+)
+from repro.diffusion.realization import Realization
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.weighting import weighted_cascade
+from repro.utils.exceptions import ValidationError
+
+
+class TestWeightValidation:
+    def test_weighted_cascade_always_valid(self):
+        graph = weighted_cascade(star_graph(5).reverse())
+        validate_lt_weights(graph)  # must not raise
+
+    def test_overweight_rejected(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 2, 0.8), (1, 2, 0.8)], n=3)
+        with pytest.raises(ValidationError):
+            validate_lt_weights(graph)
+
+
+class TestSimulateLT:
+    def test_full_weight_edges_always_propagate(self, path4, rng):
+        # weights of 1.0 exceed any threshold in [0, 1)
+        assert simulate_lt(path4, [0], rng) == {0, 1, 2, 3}
+
+    def test_empty_seed_set(self, path4, rng):
+        assert simulate_lt(path4, [], rng) == set()
+
+    def test_spread_helper(self, path4, rng):
+        assert simulate_lt_spread(path4, [0], rng) == 4
+
+    def test_mean_spread_matches_weight(self):
+        # one node with a single incoming edge of weight 0.3:
+        # activation probability is exactly 0.3 under LT
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.3)], n=2)
+        rng = np.random.default_rng(1)
+        samples = [simulate_lt_spread(graph, [0], rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1.3, abs=0.05)
+
+    def test_check_weights_flag(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 2, 0.9), (1, 2, 0.9)], n=3)
+        with pytest.raises(ValidationError):
+            simulate_lt(graph, [0], 0, check_weights=True)
+
+
+class TestTriggeringSetSampling:
+    def test_at_most_one_incoming_edge_live(self, rng):
+        graph = ProbabilisticGraph.from_edge_list(
+            [(0, 3, 0.4), (1, 3, 0.3), (2, 3, 0.3), (0, 1, 0.5)], n=4
+        )
+        for _ in range(20):
+            live = sample_lt_live_edges(graph, rng)
+            world = Realization(graph, live)
+            incoming_live = sum(
+                1 for edge_id in graph.in_neighbors(3)[2].tolist() if world.is_live(edge_id)
+            )
+            assert incoming_live <= 1
+
+    def test_live_edge_probability_matches_weight(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.25)], n=2)
+        rng = np.random.default_rng(0)
+        live_count = sum(sample_lt_live_edges(graph, rng)[0] for _ in range(4000))
+        assert live_count / 4000 == pytest.approx(0.25, abs=0.03)

@@ -1,0 +1,71 @@
+"""Tests for live-edge reachability primitives."""
+
+from __future__ import annotations
+
+from repro.diffusion.reachability import forward_reachable, is_reachable, reverse_reachable
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.residual import ResidualGraph
+
+
+def always_live(_edge_id: int) -> bool:
+    return True
+
+
+def never_live(_edge_id: int) -> bool:
+    return False
+
+
+class TestForwardReachable:
+    def test_full_path(self, path4):
+        view = ResidualGraph(path4)
+        assert forward_reachable(view, [0], always_live) == {0, 1, 2, 3}
+
+    def test_blocked_edges(self, path4):
+        view = ResidualGraph(path4)
+        assert forward_reachable(view, [0], never_live) == {0}
+
+    def test_selective_liveness(self, path4):
+        view = ResidualGraph(path4)
+        # only edge id 0 (0→1) live
+        assert forward_reachable(view, [0], lambda e: e == 0) == {0, 1}
+
+    def test_respects_residual(self, path4):
+        view = ResidualGraph(path4).without([2])
+        assert forward_reachable(view, [0], always_live) == {0, 1}
+
+    def test_multiple_sources(self, star6):
+        view = ResidualGraph(star6)
+        assert forward_reachable(view, [1, 2], always_live) == {1, 2}
+
+
+class TestReverseReachable:
+    def test_path_root_at_end(self, path4):
+        view = ResidualGraph(path4)
+        assert reverse_reachable(view, 3, always_live) == {0, 1, 2, 3}
+
+    def test_blocked(self, path4):
+        view = ResidualGraph(path4)
+        assert reverse_reachable(view, 3, never_live) == {3}
+
+    def test_inactive_root_returns_empty(self, path4):
+        view = ResidualGraph(path4).without([3])
+        assert reverse_reachable(view, 3, always_live) == set()
+
+    def test_star_leaf_reaches_center(self, star6):
+        view = ResidualGraph(star6)
+        assert reverse_reachable(view, 3, always_live) == {0, 3}
+
+
+class TestIsReachable:
+    def test_reachable_on_path(self, path4):
+        view = ResidualGraph(path4)
+        assert is_reachable(view, 0, 3, always_live)
+        assert not is_reachable(view, 3, 0, always_live)
+
+    def test_same_node(self, path4):
+        view = ResidualGraph(path4)
+        assert is_reachable(view, 2, 2, never_live)
+
+    def test_residual_breaks_path(self, path4):
+        view = ResidualGraph(path4).without([1])
+        assert not is_reachable(view, 0, 3, always_live)

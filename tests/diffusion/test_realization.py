@@ -1,0 +1,104 @@
+"""Tests for realizations (possible worlds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.diffusion.realization import (
+    LazyRealization,
+    Realization,
+    sample_realizations,
+)
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph
+
+
+class TestEagerRealization:
+    def test_all_live_when_probability_one(self, path4, rng):
+        world = Realization.sample(path4, rng)
+        assert world.num_live_edges == path4.m
+        assert world.spread([0]) == 4
+
+    def test_all_blocked_when_probability_tiny(self, rng):
+        graph = path_graph(4).with_uniform_probability(1e-12)
+        world = Realization.sample(graph, rng)
+        assert world.num_live_edges == 0
+        assert world.spread([0]) == 1
+
+    def test_from_live_edge_ids(self, path4):
+        # only the first edge (0→1) live
+        world = Realization.from_live_edge_ids(path4, [0])
+        assert world.spread([0]) == 2
+        assert world.spread([2]) == 1
+
+    def test_live_mask_shape_validated(self, path4):
+        with pytest.raises(ValueError):
+            Realization(path4, np.zeros(2, dtype=bool))
+
+    def test_activated_by_respects_residual(self, path4):
+        world = Realization.sample(path4, 0)  # all live (prob 1)
+        residual = ResidualGraph(path4).without([2])
+        activated = world.activated_by([0], residual)
+        assert activated == {0, 1}  # propagation stops at removed node 2
+
+    def test_inactive_seed_ignored(self, path4):
+        world = Realization.sample(path4, 0)
+        residual = ResidualGraph(path4).without([0])
+        assert world.activated_by([0], residual) == set()
+
+    def test_spread_of_multiple_seeds_is_union(self, star6):
+        world = Realization.sample(star6, 0)
+        assert world.spread([0]) == 6
+        assert world.spread([1, 2]) == 2
+
+    def test_repeatable_given_seed(self, rng):
+        graph = star_graph(8).with_uniform_probability(0.5)
+        world_a = Realization.sample(graph, 123)
+        world_b = Realization.sample(graph, 123)
+        assert np.array_equal(world_a.live_mask, world_b.live_mask)
+
+
+class TestLazyRealization:
+    def test_consistent_queries(self):
+        graph = path_graph(5).with_uniform_probability(0.5)
+        world = LazyRealization(graph, 0)
+        first = [world.is_live(e) for e in range(graph.m)]
+        second = [world.is_live(e) for e in range(graph.m)]
+        assert first == second
+
+    def test_spread_matches_eager_for_deterministic_graph(self, path4):
+        lazy = LazyRealization(path4, 0)
+        assert lazy.spread([0]) == 4
+
+    def test_laziness_only_samples_reachable_edges(self):
+        graph = path_graph(10).with_uniform_probability(1.0)
+        world = LazyRealization(graph, 0)
+        world.activated_by([8])
+        assert world.num_sampled_edges <= 2
+
+    def test_num_sampled_starts_at_zero(self, path4):
+        assert LazyRealization(path4, 0).num_sampled_edges == 0
+
+
+class TestSampleRealizations:
+    def test_count_and_type(self, path4):
+        worlds = sample_realizations(path4, 5, random_state=0)
+        assert len(worlds) == 5
+        assert all(isinstance(world, Realization) for world in worlds)
+
+    def test_lazy_flag(self, path4):
+        worlds = sample_realizations(path4, 3, random_state=0, lazy=True)
+        assert all(isinstance(world, LazyRealization) for world in worlds)
+
+    def test_reproducible_family(self):
+        graph = star_graph(6).with_uniform_probability(0.5)
+        masks_a = [w.live_mask.tolist() for w in sample_realizations(graph, 4, 9)]
+        masks_b = [w.live_mask.tolist() for w in sample_realizations(graph, 4, 9)]
+        assert masks_a == masks_b
+
+    def test_family_members_differ(self):
+        graph = star_graph(30).with_uniform_probability(0.5)
+        worlds = sample_realizations(graph, 2, random_state=1)
+        assert not np.array_equal(worlds[0].live_mask, worlds[1].live_mask)

@@ -1,0 +1,101 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plotting import SERIES_MARKERS, ascii_bar_chart, ascii_chart
+from repro.experiments.results import SeriesResult
+
+
+@pytest.fixture
+def series() -> SeriesResult:
+    return SeriesResult(
+        experiment_id="fig5",
+        title="Running time vs k",
+        dataset="nethept",
+        x_name="k",
+        x_values=[10, 25, 50],
+        series={
+            "HATP": [1.0, 3.0, 5.0],
+            "ADDATP": [10.0, None, None],
+            "NSG": [0.05, 0.05, 0.06],
+        },
+    )
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self, series):
+        chart = ascii_chart(series)
+        assert "Running time vs k" in chart
+        assert "legend:" in chart
+        for name in ("HATP", "ADDATP", "NSG"):
+            assert name in chart
+
+    def test_markers_drawn(self, series):
+        chart = ascii_chart(series)
+        plot_area = "\n".join(chart.splitlines()[1:-3])
+        for index in range(3):
+            assert SERIES_MARKERS[index] in plot_area
+
+    def test_axis_labels_show_extremes(self, series):
+        chart = ascii_chart(series)
+        assert "10" in chart  # max value on the y axis
+        assert "0.05" in chart
+
+    def test_log_scale_accepts_positive_values(self, series):
+        chart = ascii_chart(series, log_y=True)
+        assert "log y-axis" in chart
+
+    def test_log_scale_falls_back_without_positive_values(self):
+        flat = SeriesResult(
+            experiment_id="x", title="t", dataset="d", x_name="k",
+            x_values=[1, 2], series={"A": [-1.0, -2.0]},
+        )
+        chart = ascii_chart(flat, log_y=True)
+        assert "legend" in chart
+
+    def test_series_subset_selection(self, series):
+        chart = ascii_chart(series, series_names=["HATP"])
+        assert "ADDATP" not in chart.splitlines()[-1]
+
+    def test_no_data(self):
+        empty = SeriesResult(
+            experiment_id="x", title="t", dataset="d", x_name="k",
+            x_values=[1], series={"A": [None]},
+        )
+        assert "no data" in ascii_chart(empty)
+
+    def test_x_ticks_present(self, series):
+        chart = ascii_chart(series)
+        assert "(k," in chart
+
+    def test_constant_series_does_not_crash(self):
+        constant = SeriesResult(
+            experiment_id="x", title="t", dataset="d", x_name="k",
+            x_values=[1, 2], series={"A": [2.0, 2.0]},
+        )
+        assert "legend" in ascii_chart(constant)
+
+
+class TestAsciiBarChart:
+    def test_basic_rendering(self):
+        chart = ascii_bar_chart(["HATP", "ADDATP"], [10.0, 5.0], title="RR sets")
+        lines = chart.splitlines()
+        assert lines[0] == "RR sets"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart(["a"], [3.14159])
+        assert "3.14" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_input(self):
+        assert ascii_bar_chart([], [], title="nothing") == "nothing"
+
+    def test_zero_values_handled(self):
+        chart = ascii_bar_chart(["a", "b"], [0.0, 0.0])
+        assert "a" in chart and "b" in chart

@@ -1,0 +1,107 @@
+"""Tests for the SeriesResult container and reporting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.reporting import (
+    collect_figure_rows,
+    format_figure,
+    format_rows,
+    summarize_improvement,
+    write_rows_csv,
+)
+from repro.experiments.results import SeriesResult, merge_series
+
+
+@pytest.fixture
+def series() -> SeriesResult:
+    return SeriesResult(
+        experiment_id="fig2",
+        title="Profit vs k",
+        dataset="nethept",
+        x_name="k",
+        x_values=[10, 25],
+        series={"HATP": [11.0, 22.0], "NDG": [10.0, 20.0], "ARS": [5.0, None]},
+        metadata={"cost_setting": "degree"},
+    )
+
+
+class TestSeriesResult:
+    def test_to_rows_long_format(self, series):
+        rows = series.to_rows()
+        assert len(rows) == 6
+        assert {"experiment", "dataset", "k", "series", "value"} <= set(rows[0])
+
+    def test_format_table_contains_all_series(self, series):
+        text = series.format_table()
+        for name in ("HATP", "NDG", "ARS"):
+            assert name in text
+        assert "fig2" in text
+
+    def test_best_series_at(self, series):
+        assert series.best_series_at(10) == "HATP"
+
+    def test_improvement_over(self, series):
+        improvements = series.improvement_over("HATP", "NDG")
+        assert improvements[0] == pytest.approx(0.1)
+        assert improvements[1] == pytest.approx(0.1)
+
+    def test_improvement_with_none_values(self, series):
+        improvements = series.improvement_over("HATP", "ARS")
+        assert math.isnan(improvements[1])
+
+    def test_write_csv(self, series, tmp_path):
+        path = tmp_path / "out" / "fig2.csv"
+        series.write_csv(path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("experiment,")
+        assert len(content) == 7  # header + 6 rows
+
+    def test_merge_series(self, series):
+        other = SeriesResult(
+            experiment_id="fig2",
+            title="Profit vs k",
+            dataset="epinions",
+            x_name="k",
+            x_values=[10, 25],
+            series={"HATP": [1.0, 2.0]},
+        )
+        merged = merge_series([series, other], "fig2", "merged")
+        assert "nethept:HATP" in merged.series
+        assert "epinions:HATP" in merged.series
+
+
+class TestReportingHelpers:
+    def test_format_rows(self):
+        text = format_rows([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        assert "a" in text and "yy" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_rows_empty(self):
+        assert format_rows([]) == "(no rows)"
+
+    def test_format_figure_single(self, series):
+        assert "Profit vs k" in format_figure(series)
+
+    def test_format_figure_dict(self, series):
+        text = format_figure({"nethept": series, "epinions": series})
+        assert text.count("Profit vs k") == 2
+
+    def test_collect_figure_rows(self, series):
+        rows = collect_figure_rows({"a": series, "b": series})
+        assert len(rows) == 12
+
+    def test_write_rows_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows_csv([{"x": 1, "y": 2}], path)
+        assert path.read_text().startswith("x,y")
+
+    def test_summarize_improvement(self, series):
+        improvements = summarize_improvement(series, adaptive="HATP", baselines=("NDG",))
+        assert improvements["NDG"] == pytest.approx(0.1)
+
+    def test_summarize_improvement_missing_series(self, series):
+        assert summarize_improvement(series, adaptive="HATP", baselines=("NSG",)) == {}

@@ -1,0 +1,96 @@
+"""Tests for the shared evaluation machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hatp import HATP
+from repro.diffusion.realization import sample_realizations
+from repro.experiments.config import SMOKE, EngineParameters
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    build_standard_suite,
+    evaluate_adaptive,
+    evaluate_nonadaptive,
+    evaluate_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_engine() -> EngineParameters:
+    return EngineParameters(
+        max_rounds=3,
+        max_samples_per_round=150,
+        addatp_max_rounds=3,
+        addatp_max_samples_per_round=150,
+    )
+
+
+class TestBuildStandardSuite:
+    def test_full_lineup(self, fast_engine):
+        names = [spec.name for spec in build_standard_suite(fast_engine)]
+        assert names == ["HATP", "ADDATP", "HNTP", "NSG", "NDG", "ARS", "Baseline"]
+
+    def test_addatp_exclusion(self, fast_engine):
+        names = [spec.name for spec in build_standard_suite(fast_engine, include_addatp=False)]
+        assert "ADDATP" not in names
+
+    def test_runtime_lineup(self, fast_engine):
+        names = [
+            spec.name
+            for spec in build_standard_suite(
+                fast_engine, include_ars=False, include_baseline=False
+            )
+        ]
+        assert "ARS" not in names and "Baseline" not in names
+
+    def test_kinds(self, fast_engine):
+        kinds = {spec.name: spec.kind for spec in build_standard_suite(fast_engine)}
+        assert kinds["HATP"] == "adaptive"
+        assert kinds["ARS"] == "adaptive"
+        assert kinds["NSG"] == "nonadaptive"
+        assert kinds["Baseline"] == "fixed"
+
+
+class TestEvaluation:
+    def test_evaluate_adaptive_aggregates(self, small_instance, small_proxy, fast_engine):
+        realizations = sample_realizations(small_proxy, 2, random_state=0)
+        spec = AlgorithmSpec(
+            name="HATP",
+            kind="adaptive",
+            factory=lambda inst, rng: HATP(
+                inst.target,
+                max_rounds=fast_engine.max_rounds,
+                max_samples_per_round=fast_engine.max_samples_per_round,
+                random_state=rng,
+            ),
+        )
+        outcome = evaluate_adaptive(spec, small_instance, realizations, random_state=1)
+        assert outcome.algorithm == "HATP"
+        assert len(outcome.per_realization_profits) == 2
+        assert outcome.total_rr_sets > 0
+        assert outcome.mean_seeds <= small_instance.k
+
+    def test_evaluate_fixed_baseline(self, small_instance, small_proxy):
+        realizations = sample_realizations(small_proxy, 3, random_state=0)
+        spec = AlgorithmSpec(
+            name="Baseline", kind="fixed", factory=lambda inst, rng: list(inst.target)
+        )
+        outcome = evaluate_nonadaptive(spec, small_instance, realizations, random_state=1)
+        assert outcome.mean_seeds == small_instance.k
+        assert outcome.mean_seed_cost == pytest.approx(small_instance.target_cost())
+
+    def test_evaluate_suite_shares_realizations(self, small_instance, fast_engine):
+        suite = build_standard_suite(fast_engine, include_addatp=False)
+        outcomes = evaluate_suite(suite, small_instance, num_realizations=2, random_state=0)
+        assert set(outcomes) == {"HATP", "HNTP", "NSG", "NDG", "ARS", "Baseline"}
+        for outcome in outcomes.values():
+            assert len(outcome.per_realization_profits) == 2
+
+    def test_outcome_row_keys(self, small_instance, small_proxy):
+        realizations = sample_realizations(small_proxy, 1, random_state=0)
+        spec = AlgorithmSpec(
+            name="Baseline", kind="fixed", factory=lambda inst, rng: list(inst.target)
+        )
+        row = evaluate_nonadaptive(spec, small_instance, realizations).as_row()
+        assert {"algorithm", "profit", "spread", "seeds", "cost", "runtime_s"} <= set(row)

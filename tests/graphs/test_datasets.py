@@ -1,0 +1,69 @@
+"""Tests for the dataset proxy registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import datasets
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_four_datasets_registered(self):
+        assert set(datasets.dataset_names()) == {"nethept", "epinions", "dblp", "livejournal"}
+
+    def test_get_spec_case_insensitive(self):
+        assert datasets.get_spec("NetHEPT").name == "NetHEPT"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ConfigurationError):
+            datasets.get_spec("facebook")
+
+    def test_paper_metadata_matches_table2(self):
+        epinions = datasets.get_spec("epinions")
+        assert epinions.directed
+        assert epinions.paper_nodes == 132_000
+        nethept = datasets.get_spec("nethept")
+        assert not nethept.directed
+        assert nethept.paper_avg_degree == pytest.approx(4.18)
+
+
+class TestProxyConstruction:
+    @pytest.mark.parametrize("name", ["nethept", "epinions", "dblp", "livejournal"])
+    def test_build_small_proxy(self, name):
+        graph = datasets.load_proxy(name, nodes=150, random_state=0)
+        assert graph.n == 150
+        assert graph.m > 0
+        spec = datasets.get_spec(name)
+        assert graph.undirected_input == (not spec.directed)
+
+    def test_weighted_cascade_applied_by_default(self):
+        graph = datasets.load_proxy("nethept", nodes=100, random_state=0)
+        _, targets, probs = graph.edge_array()
+        in_degrees = graph.in_degrees
+        expected = 1.0 / np.maximum(in_degrees[targets], 1)
+        assert np.allclose(probs, expected)
+
+    def test_weighted_cascade_can_be_disabled(self):
+        graph = datasets.load_proxy(
+            "nethept", nodes=100, random_state=0, weighted_cascade=False
+        )
+        _, _, probs = graph.edge_array()
+        assert np.all(probs == 1.0)
+
+    def test_reproducible(self):
+        graph_a = datasets.load_proxy("dblp", nodes=120, random_state=3)
+        graph_b = datasets.load_proxy("dblp", nodes=120, random_state=3)
+        assert graph_a.m == graph_b.m
+
+    def test_default_node_counts(self):
+        spec = datasets.get_spec("nethept")
+        graph = spec.build(random_state=0)
+        assert graph.n == spec.default_proxy_nodes
+
+    def test_directed_proxy_average_degree_in_range(self):
+        graph = datasets.load_proxy("epinions", nodes=400, random_state=0)
+        avg_total_degree = 2 * graph.m / graph.n
+        # The Epinions proxy targets an average total degree near 13
+        assert 7 <= avg_total_degree <= 20

@@ -1,0 +1,105 @@
+"""Tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.utils.exceptions import ValidationError
+
+
+class TestSimpleGraphs:
+    def test_path(self):
+        graph = generators.path_graph(5)
+        assert graph.n == 5
+        assert graph.m == 4
+        assert graph.has_edge(2, 3)
+
+    def test_star(self):
+        graph = generators.star_graph(6, center=2)
+        assert graph.out_degree(2) == 5
+        assert graph.in_degree(2) == 0
+
+    def test_complete_directed(self):
+        graph = generators.complete_graph(4)
+        assert graph.m == 12
+
+    def test_complete_undirected_input(self):
+        graph = generators.complete_graph(4, directed=False)
+        assert graph.m == 12  # both directions materialised
+        assert graph.undirected_input
+
+    def test_empty(self):
+        graph = generators.empty_graph(3)
+        assert graph.n == 3
+        assert graph.m == 0
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_size_and_determinism(self):
+        graph_a = generators.erdos_renyi(100, avg_degree=4, random_state=1)
+        graph_b = generators.erdos_renyi(100, avg_degree=4, random_state=1)
+        assert graph_a.n == 100
+        assert graph_a.m == graph_b.m
+        assert 200 <= graph_a.m <= 400  # close to n * avg_degree
+
+    def test_erdos_renyi_no_self_loops(self):
+        graph = generators.erdos_renyi(50, avg_degree=3, random_state=0)
+        assert all(u != v for u, v, _ in graph.edges())
+
+    def test_barabasi_albert_degree_heterogeneity(self):
+        graph = generators.barabasi_albert(200, attach=2, random_state=0)
+        degrees = graph.out_degrees
+        assert graph.undirected_input
+        # heavy tail: max degree far above the attachment parameter
+        assert degrees.max() >= 4 * 2
+        assert graph.m == pytest.approx(2 * 2 * (200 - 2), rel=0.1)
+
+    def test_barabasi_albert_requires_n_greater_than_attach(self):
+        with pytest.raises(ValidationError):
+            generators.barabasi_albert(3, attach=5)
+
+    def test_powerlaw_directed_avg_degree(self):
+        graph = generators.powerlaw_directed(300, avg_out_degree=5, random_state=0)
+        mean_out = graph.out_degrees.mean()
+        assert 3.0 <= mean_out <= 7.0
+        assert not graph.undirected_input
+
+    def test_powerlaw_directed_heavy_tail(self):
+        graph = generators.powerlaw_directed(300, avg_out_degree=5, random_state=0)
+        assert graph.out_degrees.max() > 3 * graph.out_degrees.mean()
+
+    def test_watts_strogatz_structure(self):
+        graph = generators.watts_strogatz(50, nearest_neighbors=4, rewire_probability=0.0)
+        # without rewiring every node links to its 2 clockwise neighbours
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+
+    def test_watts_strogatz_requires_even_k(self):
+        with pytest.raises(ValidationError):
+            generators.watts_strogatz(20, nearest_neighbors=3)
+
+    def test_sbm_blocks(self):
+        graph = generators.stochastic_block_model(
+            [30, 30], within_avg_degree=4, between_avg_degree=0.5, random_state=0
+        )
+        assert graph.n == 60
+        sources, targets, _ = graph.edge_array()
+        same_block = ((sources < 30) & (targets < 30)) | ((sources >= 30) & (targets >= 30))
+        # most edges should stay within a block
+        assert same_block.mean() > 0.7
+
+    def test_forest_fire_connected_growth(self):
+        graph = generators.forest_fire(80, forward_probability=0.3, random_state=0)
+        assert graph.n == 80
+        # every non-root node linked to at least one earlier node
+        assert graph.m >= 79 * 1 - 5
+
+    def test_generators_reproducible(self):
+        for builder in (
+            lambda seed: generators.powerlaw_directed(100, 4, random_state=seed),
+            lambda seed: generators.barabasi_albert(100, 2, random_state=seed),
+            lambda seed: generators.forest_fire(60, random_state=seed),
+        ):
+            assert builder(5).m == builder(5).m

@@ -1,0 +1,154 @@
+"""Tests for repro.graphs.graph.ProbabilisticGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture
+def triangle() -> ProbabilisticGraph:
+    """Directed triangle 0→1→2→0 with distinct probabilities."""
+    return ProbabilisticGraph.from_edge_list(
+        [(0, 1, 0.1), (1, 2, 0.2), (2, 0, 0.3)], n=3, name="triangle"
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert len(triangle) == 3
+
+    def test_default_probabilities_are_one(self):
+        graph = ProbabilisticGraph(3, [(0, 1), (1, 2)])
+        assert all(p == 1.0 for _, _, p in graph.edges())
+
+    def test_empty_graph(self):
+        graph = ProbabilisticGraph(5, np.zeros((0, 2), dtype=np.int64))
+        assert graph.n == 5
+        assert graph.m == 0
+        assert list(graph.edges()) == []
+
+    def test_undirected_input_doubles_edges(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.5)], n=2, directed=False)
+        assert graph.m == 2
+        assert graph.undirected_input
+        assert graph.edge_probability(0, 1) == 0.5
+        assert graph.edge_probability(1, 0) == 0.5
+
+    def test_inline_probability_triples(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.25)])
+        assert graph.edge_probability(0, 1) == 0.25
+
+    def test_n_inferred_from_edges(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 4)])
+        assert graph.n == 5
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph(2, [(0, 0)])
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph(2, [(0, 1)], [1.5])
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph(2, [(0, 1)], [0.0])
+
+    def test_rejects_invalid_node_ids(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph(2, [(0, 5)])
+
+    def test_rejects_inline_and_separate_probabilities(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph.from_edge_list([(0, 1, 0.5)], probabilities=[0.2])
+
+
+class TestAdjacency:
+    def test_out_neighbors(self, triangle):
+        targets, probs, edge_ids = triangle.out_neighbors(0)
+        assert targets.tolist() == [1]
+        assert probs.tolist() == [0.1]
+        assert edge_ids.shape == (1,)
+
+    def test_in_neighbors(self, triangle):
+        sources, probs, _ = triangle.in_neighbors(0)
+        assert sources.tolist() == [2]
+        assert probs.tolist() == [0.3]
+
+    def test_in_out_edge_ids_consistent(self, triangle):
+        # The edge id reported by the incoming index must point at the same
+        # (source, target, probability) triple as the outgoing index.
+        sources_all, targets_all, probs_all = triangle.edge_array()
+        for node in triangle.nodes():
+            sources, probs, edge_ids = triangle.in_neighbors(node)
+            for source, probability, edge_id in zip(
+                sources.tolist(), probs.tolist(), edge_ids.tolist()
+            ):
+                assert sources_all[edge_id] == source
+                assert targets_all[edge_id] == node
+                assert probs_all[edge_id] == pytest.approx(probability)
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+        assert triangle.out_degrees.tolist() == [1, 1, 1]
+        assert triangle.in_degrees.tolist() == [1, 1, 1]
+
+    def test_edge_probability_lookup(self, triangle):
+        assert triangle.edge_probability(1, 2) == 0.2
+        with pytest.raises(KeyError):
+            triangle.edge_probability(0, 2)
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_edges_iteration_order_matches_edge_array(self, triangle):
+        from_iter = list(triangle.edges())
+        sources, targets, probs = triangle.edge_array()
+        from_array = list(zip(sources.tolist(), targets.tolist(), probs.tolist()))
+        assert from_iter == from_array
+
+
+class TestDerivedGraphs:
+    def test_with_uniform_probability(self, triangle):
+        updated = triangle.with_uniform_probability(0.7)
+        assert all(p == 0.7 for _, _, p in updated.edges())
+        # original untouched
+        assert triangle.edge_probability(0, 1) == 0.1
+
+    def test_with_probabilities_preserves_structure(self, triangle):
+        updated = triangle.with_probabilities(np.array([0.9, 0.8, 0.7]))
+        assert updated.n == triangle.n
+        assert updated.m == triangle.m
+        assert updated.edge_probability(0, 1) == 0.9
+
+    def test_reverse(self, triangle):
+        reversed_graph = triangle.reverse()
+        assert reversed_graph.has_edge(1, 0)
+        assert reversed_graph.edge_probability(1, 0) == 0.1
+
+    def test_subgraph_relabelled(self):
+        graph = ProbabilisticGraph.from_edge_list(
+            [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)], n=4
+        )
+        sub = graph.subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert sub.m == 2  # edges 1→2 and 2→3 survive, relabelled to 0→1, 1→2
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+
+    def test_subgraph_invalid_nodes(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.subgraph([0, 10])
+
+    def test_equality(self, triangle):
+        clone = ProbabilisticGraph.from_edge_list(
+            [(0, 1, 0.1), (1, 2, 0.2), (2, 0, 0.3)], n=3
+        )
+        assert triangle == clone
+        assert triangle != clone.with_uniform_probability(0.9)

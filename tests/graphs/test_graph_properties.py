@@ -1,0 +1,84 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph
+from repro.graphs.weighting import weighted_cascade
+
+
+@st.composite
+def edge_lists(draw, max_nodes: int = 12, max_edges: int = 30):
+    """Random simple directed edge lists with probabilities."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda uv: uv[0] != uv[1])
+    raw = draw(st.lists(pairs, max_size=max_edges, unique=True))
+    probabilities = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=len(raw),
+            max_size=len(raw),
+        )
+    )
+    return n, raw, probabilities
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(data):
+    n, edges, probs = data
+    graph = ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs)
+    assert int(graph.out_degrees.sum()) == graph.m
+    assert int(graph.in_degrees.sum()) == graph.m
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_in_out_indexes_describe_same_edges(data):
+    n, edges, probs = data
+    graph = ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs)
+    out_view = {(u, v) for u, v, _ in graph.edges()}
+    in_view = set()
+    for node in graph.nodes():
+        sources, _, _ = graph.in_neighbors(node)
+        in_view.update((int(s), node) for s in sources.tolist())
+    assert out_view == in_view == set(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_reverse_is_involution(data):
+    n, edges, probs = data
+    graph = ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs)
+    assert graph.reverse().reverse() == graph
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_weighted_cascade_incoming_mass_at_most_one(data):
+    n, edges, probs = data
+    graph = weighted_cascade(ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs))
+    _, targets, new_probs = graph.edge_array()
+    totals = np.zeros(n)
+    np.add.at(totals, targets, new_probs)
+    assert np.all(totals <= 1.0 + 1e-9)
+
+
+@given(edge_lists(), st.sets(st.integers(min_value=0, max_value=11), max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_residual_removal_never_increases_counts(data, removed):
+    n, edges, probs = data
+    graph = ProbabilisticGraph(n, np.asarray(edges).reshape(-1, 2), probs)
+    removed = {node for node in removed if node < n}
+    view = ResidualGraph(graph).without(removed)
+    assert view.num_active == n - len(removed)
+    assert view.num_active_edges <= graph.m
+    for node in removed:
+        assert not view.is_active(node)

@@ -1,0 +1,89 @@
+"""Tests for edge-list reading and writing."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.io import load_edge_list, roundtrip_equal, save_edge_list
+from repro.utils.exceptions import GraphFormatError
+
+
+class TestLoad:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1\n1 2\n")
+        graph = load_edge_list(path, apply_weighted_cascade=False)
+        assert graph.n == 3
+        assert graph.m == 2
+        assert graph.name == "graph"
+
+    def test_load_with_probabilities(self, tmp_path):
+        path = tmp_path / "weights.txt"
+        path.write_text("0 1 0.25\n1 2 0.75\n")
+        graph = load_edge_list(path)
+        assert graph.edge_probability(0, 1) == 0.25
+        assert graph.edge_probability(1, 2) == 0.75
+
+    def test_weighted_cascade_applied_when_no_probabilities(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 2\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.edge_probability(0, 2) == pytest.approx(0.5)
+
+    def test_undirected_load(self, tmp_path):
+        path = tmp_path / "undirected.txt"
+        path.write_text("0 1\n")
+        graph = load_edge_list(path, directed=False, apply_weighted_cascade=False)
+        assert graph.m == 2
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("0 0\n0 1\n")
+        graph = load_edge_list(path, apply_weighted_cascade=False)
+        assert graph.m == 1
+
+    def test_gzip_support(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        graph = load_edge_list(path, apply_weighted_cascade=False)
+        assert graph.m == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_edge_list(tmp_path / "nope.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestSave:
+    def test_save_and_reload(self, tmp_path):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.5), (1, 2, 0.25)], n=3)
+        path = tmp_path / "out.txt"
+        save_edge_list(graph, path)
+        reloaded = load_edge_list(path, apply_weighted_cascade=False)
+        assert reloaded.m == 2
+        assert reloaded.edge_probability(1, 2) == 0.25
+
+    def test_save_without_probabilities(self, tmp_path):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.5)], n=2)
+        path = tmp_path / "out.txt"
+        save_edge_list(graph, path, include_probabilities=False)
+        assert "0.5" not in path.read_text()
+
+    def test_roundtrip_helper(self, tmp_path):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.5), (2, 0, 0.3)], n=3)
+        assert roundtrip_equal(graph, tmp_path / "roundtrip.txt")

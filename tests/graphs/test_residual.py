@@ -1,0 +1,85 @@
+"""Tests for repro.graphs.residual.ResidualGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.residual import ResidualGraph, as_residual
+from repro.utils.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_default_all_active(self, path4):
+        view = ResidualGraph(path4)
+        assert view.num_active == 4
+        assert view.active_nodes().tolist() == [0, 1, 2, 3]
+
+    def test_custom_mask(self, path4):
+        view = ResidualGraph(path4, np.array([True, False, True, True]))
+        assert view.num_active == 3
+        assert not view.is_active(1)
+
+    def test_mask_shape_validated(self, path4):
+        with pytest.raises(ValidationError):
+            ResidualGraph(path4, np.array([True, False]))
+
+    def test_as_residual_idempotent(self, path4):
+        view = ResidualGraph(path4)
+        assert as_residual(view) is view
+        assert isinstance(as_residual(path4), ResidualGraph)
+
+
+class TestFiltering:
+    def test_out_neighbors_filtered(self, star6):
+        view = ResidualGraph(star6).without([1, 2])
+        targets, _, _ = view.out_neighbors(0)
+        assert set(targets.tolist()) == {3, 4, 5}
+
+    def test_in_neighbors_filtered(self, path4):
+        view = ResidualGraph(path4).without([0])
+        sources, _, _ = view.in_neighbors(1)
+        assert sources.tolist() == []
+
+    def test_num_active_edges(self, path4):
+        full = ResidualGraph(path4)
+        assert full.num_active_edges == 3
+        assert full.without([1]).num_active_edges == 1  # only 2→3 survives
+
+    def test_without_accumulates(self, path4):
+        view = ResidualGraph(path4).without([0]).without([3])
+        assert view.num_active == 2
+        # original view object is not mutated
+        assert ResidualGraph(path4).num_active == 4
+
+    def test_without_invalid_node(self, path4):
+        with pytest.raises(ValidationError):
+            ResidualGraph(path4).without([9])
+
+    def test_restricted_to(self, star6):
+        view = ResidualGraph(star6).restricted_to([0, 1, 2])
+        assert view.num_active == 3
+        targets, _, _ = view.out_neighbors(0)
+        assert set(targets.tolist()) == {1, 2}
+
+
+class TestMaterialize:
+    def test_materialize_matches_subgraph(self, star6):
+        view = ResidualGraph(star6).without([5])
+        materialized = view.materialize()
+        assert materialized.n == 5
+        assert materialized.m == 4
+
+    def test_copy_independent(self, path4):
+        view = ResidualGraph(path4)
+        copy = view.copy()
+        copy2 = copy.without([0])
+        assert view.num_active == 4
+        assert copy.num_active == 4
+        assert copy2.num_active == 3
+
+    def test_base_is_shared(self, path4):
+        view = ResidualGraph(path4)
+        assert view.base is path4
+        assert view.n == path4.n

@@ -1,0 +1,60 @@
+"""Tests for graph statistics (Table II support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.statistics import compute_statistics, degree_histogram, statistics_table
+
+
+class TestComputeStatistics:
+    def test_directed_counts(self):
+        stats = compute_statistics(path_graph(4))
+        assert stats.num_nodes == 4
+        assert stats.num_directed_edges == 3
+        assert stats.graph_type == "directed"
+        assert stats.average_degree == pytest.approx(2 * 3 / 4)
+
+    def test_undirected_counts(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1), (1, 2)], n=3, directed=False)
+        stats = compute_statistics(graph)
+        assert stats.num_directed_edges == 4
+        assert stats.num_undirected_edges == 2
+        assert stats.graph_type == "undirected"
+        assert stats.average_degree == pytest.approx(2 * 2 / 3)
+
+    def test_max_degrees(self):
+        stats = compute_statistics(star_graph(5))
+        assert stats.max_out_degree == 4
+        assert stats.max_in_degree == 1
+
+    def test_average_edge_probability(self):
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.2), (1, 2, 0.4)], n=3)
+        stats = compute_statistics(graph)
+        assert stats.average_edge_probability == pytest.approx(0.3)
+
+    def test_as_row_keys(self):
+        row = compute_statistics(path_graph(3)).as_row()
+        assert set(row) == {"dataset", "n", "m", "type", "avg_deg"}
+
+
+class TestHistogramsAndTables:
+    def test_degree_histogram_out(self):
+        hist = degree_histogram(star_graph(5), "out")
+        assert hist[0] == 4  # four leaves
+        assert hist[4] == 1  # the center
+
+    def test_degree_histogram_in(self):
+        hist = degree_histogram(star_graph(5), "in")
+        assert hist[1] == 4
+
+    def test_degree_histogram_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(star_graph(3), "sideways")
+
+    def test_statistics_table(self):
+        rows = statistics_table([path_graph(3), star_graph(4)])
+        assert len(rows) == 2
+        assert rows[0]["n"] == 3

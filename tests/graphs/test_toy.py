@@ -1,0 +1,84 @@
+"""Tests for the Fig. 1 worked example reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.spread import exact_expected_spread
+from repro.graphs.toy import (
+    TOY_ADAPTIVE_REALIZED_PROFIT,
+    TOY_COST_PER_NODE,
+    TOY_NODE_IDS,
+    TOY_NONADAPTIVE_PROFIT,
+    TOY_NONADAPTIVE_REALIZED_PROFIT,
+    TOY_TARGET_SET,
+    toy_costs,
+    toy_fig1_realization,
+    toy_graph,
+)
+
+
+class TestToyGraphStructure:
+    def test_seven_nodes(self):
+        assert toy_graph().n == 7
+
+    def test_node_id_mapping(self):
+        assert TOY_NODE_IDS["v1"] == 0
+        assert TOY_NODE_IDS["v7"] == 6
+
+    def test_target_set(self):
+        assert TOY_TARGET_SET == {0, 1, 5}
+
+    def test_costs(self):
+        costs = toy_costs()
+        assert set(costs) == TOY_TARGET_SET
+        assert all(cost == TOY_COST_PER_NODE for cost in costs.values())
+
+    def test_v2_can_reach_v3_and_v4(self):
+        graph = toy_graph()
+        assert graph.has_edge(TOY_NODE_IDS["v2"], TOY_NODE_IDS["v3"])
+        assert graph.has_edge(TOY_NODE_IDS["v2"], TOY_NODE_IDS["v4"])
+
+    def test_v6_can_reach_v5_and_v7(self):
+        graph = toy_graph()
+        assert graph.has_edge(TOY_NODE_IDS["v6"], TOY_NODE_IDS["v5"])
+        assert graph.has_edge(TOY_NODE_IDS["v6"], TOY_NODE_IDS["v7"])
+
+
+class TestPaperNumbers:
+    def test_expected_profit_of_target_set(self):
+        """ρ(T) = E[I(T)] − 4.5 ≈ 1.66 (paper's worked number)."""
+        graph = toy_graph()
+        expected_spread = exact_expected_spread(graph, TOY_TARGET_SET)
+        profit = expected_spread - 3 * TOY_COST_PER_NODE
+        assert profit == pytest.approx(TOY_NONADAPTIVE_PROFIT, abs=0.05)
+
+    def test_fig1_realization_adaptive_profit(self):
+        """Adaptive seeding of {v2, v6} earns 6 − 3 = 3 under the Fig.1 world."""
+        realization, graph = toy_fig1_realization()
+        seeds = [TOY_NODE_IDS["v2"], TOY_NODE_IDS["v6"]]
+        spread = realization.spread(seeds)
+        assert spread == 6
+        assert spread - 2 * TOY_COST_PER_NODE == pytest.approx(
+            TOY_ADAPTIVE_REALIZED_PROFIT
+        )
+
+    def test_fig1_realization_nonadaptive_profit(self):
+        """Nonadaptive seeding of T earns 7 − 4.5 = 2.5 under the same world."""
+        realization, graph = toy_fig1_realization()
+        spread = realization.spread(sorted(TOY_TARGET_SET))
+        assert spread == 7
+        assert spread - 3 * TOY_COST_PER_NODE == pytest.approx(
+            TOY_NONADAPTIVE_REALIZED_PROFIT
+        )
+
+    def test_adaptive_beats_nonadaptive_by_twenty_percent(self):
+        improvement = (
+            TOY_ADAPTIVE_REALIZED_PROFIT - TOY_NONADAPTIVE_REALIZED_PROFIT
+        ) / TOY_NONADAPTIVE_REALIZED_PROFIT
+        assert improvement == pytest.approx(0.2)
+
+    def test_v7_does_not_activate_v1_in_fig1_world(self):
+        realization, _graph = toy_fig1_realization()
+        activated = realization.activated_by([TOY_NODE_IDS["v6"]])
+        assert TOY_NODE_IDS["v1"] not in activated

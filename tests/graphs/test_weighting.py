@@ -1,0 +1,76 @@
+"""Tests for repro.graphs.weighting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import star_graph
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.weighting import (
+    random_probabilities,
+    trivalency,
+    uniform_probability,
+    weighted_cascade,
+)
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture
+def fan_in() -> ProbabilisticGraph:
+    """Three nodes all pointing at node 3 (in-degree 3)."""
+    return ProbabilisticGraph.from_edge_list([(0, 3), (1, 3), (2, 3), (0, 1)], n=4)
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self, fan_in):
+        weighted = weighted_cascade(fan_in)
+        assert weighted.edge_probability(0, 3) == pytest.approx(1 / 3)
+        assert weighted.edge_probability(1, 3) == pytest.approx(1 / 3)
+        assert weighted.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_incoming_mass_sums_to_one(self, fan_in):
+        weighted = weighted_cascade(fan_in)
+        _, targets, probs = weighted.edge_array()
+        totals = np.zeros(weighted.n)
+        np.add.at(totals, targets, probs)
+        for node in range(weighted.n):
+            if weighted.in_degree(node):
+                assert totals[node] == pytest.approx(1.0)
+
+    def test_structure_unchanged(self, fan_in):
+        weighted = weighted_cascade(fan_in)
+        assert weighted.n == fan_in.n
+        assert weighted.m == fan_in.m
+
+
+class TestOtherSchemes:
+    def test_uniform(self, fan_in):
+        graph = uniform_probability(fan_in, 0.3)
+        assert all(p == 0.3 for _, _, p in graph.edges())
+
+    def test_uniform_rejects_invalid(self, fan_in):
+        with pytest.raises(ValidationError):
+            uniform_probability(fan_in, 1.5)
+
+    def test_trivalency_levels(self, fan_in, rng):
+        graph = trivalency(fan_in, random_state=rng)
+        levels = {0.1, 0.01, 0.001}
+        assert all(p in levels for _, _, p in graph.edges())
+
+    def test_trivalency_rejects_bad_levels(self, fan_in):
+        with pytest.raises(ValidationError):
+            trivalency(fan_in, levels=[0.5, 2.0])
+
+    def test_random_probabilities_range(self, fan_in, rng):
+        graph = random_probabilities(fan_in, low=0.2, high=0.4, random_state=rng)
+        assert all(0.2 <= p <= 0.4 for _, _, p in graph.edges())
+
+    def test_random_probabilities_rejects_inverted_range(self, fan_in):
+        with pytest.raises(ValidationError):
+            random_probabilities(fan_in, low=0.5, high=0.1)
+
+    def test_star_weighted_cascade(self):
+        graph = weighted_cascade(star_graph(5))
+        # every leaf has in-degree 1 so every edge gets probability 1
+        assert all(p == 1.0 for _, _, p in graph.edges())

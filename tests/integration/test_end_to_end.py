@@ -1,0 +1,142 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests go from dataset proxy → target construction → adaptive /
+nonadaptive seeding → evaluation against shared realizations, i.e. the same
+path the benchmark harness and the example scripts take.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ADDATP,
+    HATP,
+    HNTP,
+    NDG,
+    NSG,
+    AdaptiveRandomSet,
+    AdaptiveSession,
+    quickstart_instance,
+)
+from repro.diffusion.realization import Realization, sample_realizations
+from repro.experiments import SMOKE, build_standard_suite, evaluate_suite
+from repro.experiments.config import EngineParameters
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return quickstart_instance(dataset="nethept", nodes=150, k=6, random_state=1)
+
+
+@pytest.fixture(scope="module")
+def realization(instance):
+    return Realization.sample(instance.graph, random_state=2)
+
+
+class TestQuickstartPath:
+    def test_instance_is_well_formed(self, instance):
+        assert instance.k == 6
+        assert set(instance.costs) == set(instance.target)
+        assert instance.target_cost() > 0
+
+    def test_hatp_end_to_end(self, instance, realization):
+        session = AdaptiveSession(instance.graph, realization, instance.costs)
+        result = HATP(
+            instance.target, random_state=3, max_samples_per_round=300, max_rounds=4
+        ).run(session)
+        assert set(result.seeds) <= set(instance.target)
+        assert result.realized_spread >= result.num_seeds
+        assert result.realized_profit == pytest.approx(
+            result.realized_spread - result.seed_cost
+        )
+
+    def test_each_algorithm_produces_subset_of_target(self, instance, realization):
+        adaptive_algorithms = [
+            HATP(instance.target, random_state=0, max_samples_per_round=200, max_rounds=3),
+            ADDATP(instance.target, random_state=0, max_samples_per_round=200, max_rounds=3),
+            AdaptiveRandomSet(instance.target, random_state=0),
+        ]
+        for algorithm in adaptive_algorithms:
+            session = AdaptiveSession(instance.graph, realization, instance.costs)
+            result = algorithm.run(session)
+            assert set(result.seeds) <= set(instance.target)
+
+        nonadaptive_algorithms = [
+            HNTP(instance.target, random_state=0, max_samples_per_round=200, max_rounds=3),
+            NSG(instance.target, num_samples=300, random_state=0),
+            NDG(instance.target, num_samples=300, random_state=0),
+        ]
+        for algorithm in nonadaptive_algorithms:
+            selection = algorithm.select(instance.graph, instance.costs)
+            assert set(selection.seeds) <= set(instance.target)
+
+    def test_realized_profit_consistency_between_views(self, instance, realization):
+        """The session's incremental accounting must agree with a one-shot
+        evaluation of the final seed set on the same realization."""
+        session = AdaptiveSession(instance.graph, realization, instance.costs)
+        result = HATP(
+            instance.target, random_state=5, max_samples_per_round=300, max_rounds=4
+        ).run(session)
+        replay = AdaptiveSession(
+            instance.graph, realization, instance.costs
+        ).evaluate_nonadaptive(result.seeds)
+        assert replay.spread == result.realized_spread
+        assert replay.profit == pytest.approx(result.realized_profit)
+
+
+class TestSuiteEvaluation:
+    def test_full_suite_on_shared_realizations(self, instance):
+        engine = EngineParameters(
+            max_rounds=3,
+            max_samples_per_round=150,
+            addatp_max_rounds=3,
+            addatp_max_samples_per_round=150,
+        )
+        suite = build_standard_suite(engine)
+        outcomes = evaluate_suite(suite, instance, num_realizations=3, random_state=7)
+        assert len(outcomes) == 7
+        baseline = outcomes["Baseline"]
+        assert baseline.mean_seeds == instance.k
+        # every algorithm's profit must respect spread/cost accounting
+        for outcome in outcomes.values():
+            assert outcome.mean_profit == pytest.approx(
+                outcome.mean_spread - outcome.mean_seed_cost, abs=1e-6
+            )
+
+    def test_profit_aware_selection_beats_random_on_separated_instance(self):
+        """On a star where only the hub is profitable, HATP seeds exactly the
+        hub (profit 5) while ARS coin-flips over the whole target; whatever
+        its coins do, ARS cannot earn more than the hub-only profit."""
+        from repro.core.targets import TPMInstance
+        from repro.core.costs import CostAssignment
+        from repro.graphs.generators import star_graph
+
+        graph = star_graph(6)
+        costs = {0: 1.0, 1: 3.0, 2: 3.0, 3: 3.0, 4: 3.0}
+        instance = TPMInstance(
+            graph=graph,
+            target=[1, 2, 3, 4, 0],  # unprofitable leaves examined first
+            cost_assignment=CostAssignment(costs=costs, setting="manual", total=13.0),
+        )
+        engine = EngineParameters(max_rounds=4, max_samples_per_round=300)
+        suite = [
+            spec
+            for spec in build_standard_suite(engine, include_addatp=False)
+            if spec.name in {"HATP", "ARS"}
+        ]
+        outcomes = evaluate_suite(suite, instance, num_realizations=4, random_state=11)
+        assert outcomes["HATP"].mean_profit == pytest.approx(5.0)
+        assert outcomes["HATP"].mean_profit >= outcomes["ARS"].mean_profit - 1e-9
+
+
+class TestDeterminism:
+    def test_same_seeds_reproduce_suite_results(self, instance):
+        engine = EngineParameters(max_rounds=3, max_samples_per_round=150)
+        suite = build_standard_suite(engine, include_addatp=False)
+
+        def run():
+            outcomes = evaluate_suite(suite, instance, num_realizations=2, random_state=13)
+            return {name: outcome.mean_profit for name, outcome in outcomes.items()}
+
+        assert run() == run()

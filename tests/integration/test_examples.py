@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts (run as subprocesses with tiny args)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+
+
+@pytest.mark.slow
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "--nodes", "150", "--k", "6", "--seed", "1")
+        assert result.returncode == 0, result.stderr
+        assert "profit" in result.stdout
+        assert "adaptive selection earned" in result.stdout
+
+    def test_viral_marketing_campaign(self):
+        result = run_example(
+            "viral_marketing_campaign.py",
+            "--nodes", "150", "--mailing-list", "6", "--worlds", "2", "--dataset", "nethept",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "average profit" in result.stdout
+        assert "HATP" in result.stdout
+
+    def test_hybrid_error_tuning(self):
+        result = run_example("hybrid_error_tuning.py", "--k", "5", "--scale", "smoke")
+        assert result.returncode == 0, result.stderr
+        assert "additive vs hybrid error" in result.stdout
+        assert "sensitivity" in result.stdout.lower()
+
+    def test_adaptive_vs_nonadaptive_study(self):
+        result = run_example(
+            "adaptive_vs_nonadaptive_study.py", "--datasets", "nethept", "--scale", "smoke"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Profit vs k" in result.stdout
+        assert "Running time vs k" in result.stdout

@@ -1,0 +1,82 @@
+"""Tests of the package-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import quickstart_instance
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ADG",
+            "ADDATP",
+            "HATP",
+            "HNTP",
+            "NSG",
+            "NDG",
+            "RandomSet",
+            "AdaptiveRandomSet",
+            "AdaptiveSession",
+            "ProbabilisticGraph",
+            "ResidualGraph",
+            "TPMInstance",
+            "build_spread_calibrated_instance",
+            "build_predefined_cost_instance",
+            "top_k_influential",
+            "datasets",
+            "quickstart_instance",
+        ],
+    )
+    def test_documented_names_importable(self, name):
+        assert hasattr(repro, name)
+
+    def test_all_matches_attributes(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_public_classes_have_docstrings(self):
+        for name in ("ADG", "ADDATP", "HATP", "HNTP", "AdaptiveSession", "TPMInstance"):
+            assert getattr(repro, name).__doc__
+
+
+class TestQuickstartInstance:
+    def test_default_build(self):
+        instance = quickstart_instance(nodes=120, k=5, random_state=0)
+        assert instance.k == 5
+        assert instance.graph.n == 120
+
+    def test_cost_setting_forwarded(self):
+        instance = quickstart_instance(nodes=120, k=4, cost_setting="uniform", random_state=0)
+        assert instance.cost_assignment.setting == "uniform"
+
+    def test_different_datasets(self):
+        instance = quickstart_instance(dataset="epinions", nodes=120, k=4, random_state=0)
+        assert instance.graph.name == "epinions-like"
+
+
+class TestSubpackageDocstrings:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graphs",
+            "repro.diffusion",
+            "repro.sampling",
+            "repro.core",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackages_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 20

@@ -1,0 +1,116 @@
+"""Tests for concentration bounds and sample-size calculators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sampling.bounds import (
+    SpreadConfidenceInterval,
+    additive_confidence_interval,
+    additive_error_for_budget,
+    hoeffding_sample_size,
+    hoeffding_tail,
+    hybrid_confidence_interval,
+    hybrid_lower_tail,
+    hybrid_sample_size,
+    hybrid_upper_tail,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestHoeffding:
+    def test_tail_formula(self):
+        assert hoeffding_tail(100, 0.1) == pytest.approx(2 * math.exp(-2 * 100 * 0.01))
+
+    def test_tail_decreases_with_samples(self):
+        assert hoeffding_tail(200, 0.1) < hoeffding_tail(100, 0.1)
+
+    def test_sample_size_matches_paper_formula(self):
+        zeta, delta = 0.1, 0.01
+        expected = math.ceil(math.log(8 / delta) / (2 * zeta**2))
+        assert hoeffding_sample_size(zeta, delta) == expected
+
+    def test_sample_size_achieves_tail(self):
+        zeta, delta = 0.05, 0.001
+        theta = hoeffding_sample_size(zeta, delta, numerator=2.0)
+        assert hoeffding_tail(theta, zeta) <= delta * 1.0001
+
+    def test_sample_size_grows_quadratically_in_error(self):
+        assert hoeffding_sample_size(0.05, 0.01) >= 3.9 * hoeffding_sample_size(0.1, 0.01)
+
+    def test_error_for_budget_inverts(self):
+        zeta = additive_error_for_budget(1000, 0.01)
+        assert hoeffding_sample_size(zeta, 0.01) == pytest.approx(1000, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            hoeffding_sample_size(1.5, 0.01)
+        with pytest.raises(ValidationError):
+            hoeffding_sample_size(0.1, -1)
+
+
+class TestHybridBound:
+    def test_upper_tail_formula(self):
+        value = hybrid_upper_tail(100, 0.1, 0.05)
+        expected = math.exp(-2 * 100 * 0.1 * 0.05 / (1 + 0.1 / 3) ** 2)
+        assert value == pytest.approx(expected)
+
+    def test_lower_tail_formula(self):
+        assert hybrid_lower_tail(100, 0.1, 0.05) == pytest.approx(
+            math.exp(-2 * 100 * 0.1 * 0.05)
+        )
+
+    def test_lower_tail_tighter_than_upper(self):
+        assert hybrid_lower_tail(100, 0.2, 0.05) <= hybrid_upper_tail(100, 0.2, 0.05)
+
+    def test_sample_size_matches_paper_formula(self):
+        eps, zeta, delta = 0.5, 0.1, 0.001
+        expected = math.ceil((1 + eps / 3) ** 2 * math.log(4 / delta) / (2 * eps * zeta))
+        assert hybrid_sample_size(eps, zeta, delta) == expected
+
+    def test_hybrid_much_cheaper_than_additive_at_small_zeta(self):
+        # the whole point of HATP: 1/(εζ) vs 1/ζ² when ζ is tiny
+        zeta, delta = 0.001, 0.001
+        assert hybrid_sample_size(0.1, zeta, delta) < hoeffding_sample_size(zeta, delta) / 50
+
+    def test_sample_size_achieves_tails(self):
+        eps, zeta, delta = 0.2, 0.02, 0.01
+        theta = hybrid_sample_size(eps, zeta, delta, numerator=2.0)
+        assert hybrid_upper_tail(theta, eps, zeta) <= delta
+        assert hybrid_lower_tail(theta, eps, zeta) <= delta
+
+
+class TestConfidenceIntervals:
+    def test_additive_interval_centered(self):
+        interval = additive_confidence_interval(
+            coverage=50, num_samples=100, num_active_nodes=200, additive_error=0.05,
+            failure_probability=0.01,
+        )
+        assert interval.estimate == pytest.approx(100.0)
+        assert interval.lower == pytest.approx(90.0)
+        assert interval.upper == pytest.approx(110.0)
+        assert interval.width == pytest.approx(20.0)
+        assert interval.contains(100.0)
+
+    def test_additive_interval_clipped_to_range(self):
+        interval = additive_confidence_interval(1, 100, 50, 0.5, 0.1)
+        assert interval.lower >= 0.0
+        assert interval.upper <= 50.0
+
+    def test_hybrid_interval_brackets_estimate(self):
+        interval = hybrid_confidence_interval(
+            coverage=50, num_samples=100, num_active_nodes=200,
+            relative_error=0.1, additive_error=0.01, failure_probability=0.01,
+        )
+        assert interval.lower <= interval.estimate <= interval.upper
+
+    def test_hybrid_interval_requires_eps_below_one(self):
+        with pytest.raises(ValidationError):
+            hybrid_confidence_interval(1, 10, 10, 1.0, 0.1, 0.1)
+
+    def test_dataclass_contains(self):
+        interval = SpreadConfidenceInterval(5.0, 4.0, 6.0, 0.05)
+        assert interval.contains(4.5)
+        assert not interval.contains(7.0)

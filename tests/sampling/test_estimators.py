@@ -1,0 +1,66 @@
+"""Tests for the fixed-batch RIS estimators used by NSG / NDG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.sampling.estimators import (
+    RISProfitEstimator,
+    RISSpreadEstimator,
+    choose_sample_size_like_hatp,
+)
+
+
+class TestSpreadEstimator:
+    def test_num_samples(self, path4):
+        estimator = RISSpreadEstimator(path4, 100, random_state=0)
+        assert estimator.num_samples == 100
+
+    def test_deterministic_path_estimates(self, path4):
+        estimator = RISSpreadEstimator(path4, 300, random_state=0)
+        assert estimator.spread([0]) == pytest.approx(4.0)
+        assert estimator.spread([3]) < 4.0
+
+    def test_marginal_spread(self, path4):
+        estimator = RISSpreadEstimator(path4, 300, random_state=0)
+        # conditioned on node 0 (which covers every RR set) nothing is left
+        assert estimator.marginal_spread(1, [0]) == 0.0
+
+    def test_probabilistic_star_estimate(self):
+        graph = star_graph(6).with_uniform_probability(0.5)
+        estimator = RISSpreadEstimator(graph, 8000, random_state=1)
+        assert estimator.spread([0]) == pytest.approx(3.5, abs=0.2)
+
+
+class TestProfitEstimator:
+    def test_cost_accounting(self, path4):
+        estimator = RISProfitEstimator(path4, 100, costs={0: 1.5, 1: 0.5}, random_state=0)
+        assert estimator.cost([0, 1]) == 2.0
+        assert estimator.cost([2]) == 0.0
+
+    def test_profit_is_spread_minus_cost(self, path4):
+        estimator = RISProfitEstimator(path4, 400, costs={0: 1.0}, random_state=0)
+        assert estimator.profit([0]) == pytest.approx(estimator.spread([0]) - 1.0)
+
+    def test_marginal_profit(self, path4):
+        estimator = RISProfitEstimator(path4, 400, costs={1: 0.25}, random_state=0)
+        expected = estimator.marginal_spread(1, []) - 0.25
+        assert estimator.marginal_profit(1, []) == pytest.approx(expected)
+
+    def test_costs_property(self, path4):
+        estimator = RISProfitEstimator(path4, 10, costs={3: 2.0}, random_state=0)
+        assert estimator.costs == {3: 2.0}
+
+
+class TestSampleSizeHeuristic:
+    def test_positive(self):
+        assert choose_sample_size_like_hatp(1000, 50) > 0
+
+    def test_grows_with_graph_size(self):
+        assert choose_sample_size_like_hatp(10_000, 50) > choose_sample_size_like_hatp(100, 50)
+
+    def test_decreasing_in_relative_error(self):
+        loose = choose_sample_size_like_hatp(1000, 50, relative_error=0.2)
+        tight = choose_sample_size_like_hatp(1000, 50, relative_error=0.05)
+        assert tight > loose

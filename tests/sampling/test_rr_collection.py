@@ -1,0 +1,108 @@
+"""Tests for RRCollection coverage queries and spread estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.residual import ResidualGraph
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture
+def manual_collection() -> RRCollection:
+    """Hand-built collection: sets {0,1}, {1}, {2}, {0,2} on 3 active nodes."""
+    return RRCollection([{0, 1}, {1}, {2}, {0, 2}], num_active_nodes=3)
+
+
+class TestCoverage:
+    def test_single_node_coverage(self, manual_collection):
+        assert manual_collection.coverage([0]) == 2
+        assert manual_collection.coverage([1]) == 2
+        assert manual_collection.coverage([2]) == 2
+
+    def test_set_coverage_is_union(self, manual_collection):
+        assert manual_collection.coverage([0, 1]) == 3
+        assert manual_collection.coverage([0, 1, 2]) == 4
+
+    def test_empty_set_coverage(self, manual_collection):
+        assert manual_collection.coverage([]) == 0
+
+    def test_unknown_node_coverage(self, manual_collection):
+        assert manual_collection.coverage([99]) == 0
+
+    def test_covered_mask(self, manual_collection):
+        mask = manual_collection.covered_mask([2])
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_sets_containing(self, manual_collection):
+        assert manual_collection.sets_containing(1) == [0, 1]
+
+
+class TestMarginalCoverage:
+    def test_marginal_excludes_covered_sets(self, manual_collection):
+        # RR sets containing 0: ids 0 and 3; conditioning on {1} covers id 0.
+        assert manual_collection.marginal_coverage(0, [1]) == 1
+
+    def test_marginal_with_empty_conditioning(self, manual_collection):
+        assert manual_collection.marginal_coverage(0, []) == 2
+
+    def test_conditioning_set_containing_node_itself(self, manual_collection):
+        # the node itself is discarded from the conditioning set
+        assert manual_collection.marginal_coverage(0, [0]) == 2
+
+    def test_marginal_zero_when_fully_covered(self, manual_collection):
+        # every RR set containing 0 also contains 1 or 2
+        assert manual_collection.marginal_coverage(0, [1, 2]) == 0
+
+
+class TestEstimation:
+    def test_estimate_spread_scaling(self, manual_collection):
+        # coverage 2 of 4 sets on 3 active nodes → 2 * 3 / 4
+        assert manual_collection.estimate_spread([0]) == pytest.approx(1.5)
+
+    def test_estimate_marginal_spread(self, manual_collection):
+        assert manual_collection.estimate_marginal_spread(0, [1]) == pytest.approx(0.75)
+
+    def test_estimate_fraction(self, manual_collection):
+        assert manual_collection.estimate_fraction([0, 1, 2]) == pytest.approx(1.0)
+
+    def test_empty_collection(self):
+        empty = RRCollection([], num_active_nodes=5)
+        assert empty.estimate_spread([0]) == 0.0
+        assert empty.estimate_marginal_spread(0, []) == 0.0
+        assert len(empty) == 0
+
+    def test_negative_active_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            RRCollection([], num_active_nodes=-1)
+
+
+class TestGenerateAndExtend:
+    def test_generate_uses_residual_active_count(self, star6):
+        view = ResidualGraph(star6).without([5])
+        collection = RRCollection.generate(view, 50, random_state=0)
+        assert collection.num_active_nodes == 5
+        assert collection.num_sets == 50
+
+    def test_extend_updates_index(self, manual_collection):
+        manual_collection.extend([{0, 5}])
+        assert manual_collection.num_sets == 5
+        assert manual_collection.coverage([5]) == 1
+        assert manual_collection.coverage([0]) == 3
+
+    def test_total_size(self, manual_collection):
+        assert manual_collection.total_size() == 6
+
+    def test_ris_identity_on_deterministic_path(self, path4):
+        # with probability-1 edges every RR set contains node 0, so the
+        # estimate of E[I({0})] equals n exactly.
+        collection = RRCollection.generate(path4, 200, random_state=0)
+        assert collection.estimate_spread([0]) == pytest.approx(4.0)
+
+    def test_unbiasedness_on_probabilistic_star(self):
+        # star center with 5 leaves at probability 0.5: E[I({center})] = 3.5
+        graph = star_graph(6).with_uniform_probability(0.5)
+        collection = RRCollection.generate(graph, 12000, random_state=1)
+        assert collection.estimate_spread([0]) == pytest.approx(3.5, abs=0.15)

@@ -1,0 +1,94 @@
+"""Tests for RR-set generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.residual import ResidualGraph
+from repro.sampling.rr_sets import (
+    expected_rr_width,
+    generate_rr_set,
+    generate_rr_sets,
+    rr_set_sizes,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestGenerateRRSet:
+    def test_contains_root(self, path4, rng):
+        view = ResidualGraph(path4)
+        rr = generate_rr_set(view, rng, root=2)
+        assert 2 in rr
+
+    def test_deterministic_path_rr_set_is_prefix(self, path4, rng):
+        # with probability-1 edges, the RR set of root r is {0, ..., r}
+        view = ResidualGraph(path4)
+        assert generate_rr_set(view, rng, root=3) == {0, 1, 2, 3}
+        assert generate_rr_set(view, rng, root=0) == {0}
+
+    def test_zero_probability_rr_set_is_singleton(self, rng):
+        graph = path_graph(4).with_uniform_probability(1e-12)
+        rr = generate_rr_set(ResidualGraph(graph), rng, root=3)
+        assert rr == {3}
+
+    def test_inactive_root_gives_empty_set(self, path4, rng):
+        view = ResidualGraph(path4).without([3])
+        assert generate_rr_set(view, rng, root=3) == set()
+
+    def test_random_root_is_active(self, path4, rng):
+        view = ResidualGraph(path4).without([0, 1])
+        for _ in range(20):
+            rr = generate_rr_set(view, rng)
+            assert rr <= {2, 3}
+
+    def test_empty_residual_graph(self, path4, rng):
+        view = ResidualGraph(path4).without([0, 1, 2, 3])
+        assert generate_rr_set(view, rng) == set()
+
+
+class TestGenerateRRSets:
+    def test_count(self, path4):
+        assert len(generate_rr_sets(path4, 25, random_state=0)) == 25
+
+    def test_zero_count(self, path4):
+        assert generate_rr_sets(path4, 0, random_state=0) == []
+
+    def test_negative_count_rejected(self, path4):
+        with pytest.raises(ValidationError):
+            generate_rr_sets(path4, -1)
+
+    def test_reproducible(self, path4):
+        first = generate_rr_sets(path4, 10, random_state=5)
+        second = generate_rr_sets(path4, 10, random_state=5)
+        assert first == second
+
+    def test_accepts_residual_views(self, star6):
+        view = ResidualGraph(star6).without([0])
+        rr_sets = generate_rr_sets(view, 30, random_state=0)
+        # without the hub every RR set is a singleton leaf
+        assert all(len(rr) == 1 for rr in rr_sets)
+        assert all(0 not in rr for rr in rr_sets)
+
+
+class TestSizesAndWidth:
+    def test_rr_set_sizes(self):
+        sizes = rr_set_sizes([{1}, {1, 2}, set()])
+        assert sizes.tolist() == [1, 2, 0]
+
+    def test_expected_width_range(self, star6):
+        width = expected_rr_width(star6, num_samples=100, random_state=0)
+        # star roots: center → singleton, leaf → {leaf, center}
+        assert 1.0 <= width <= 2.0
+
+    def test_rr_membership_probability_matches_activation(self):
+        # single edge 0→1 with probability 0.3: root 1's RR set contains 0
+        # with probability 0.3 (the defining RIS identity at node level).
+        from repro.graphs.graph import ProbabilisticGraph
+
+        graph = ProbabilisticGraph.from_edge_list([(0, 1, 0.3)], n=2)
+        rng = np.random.default_rng(0)
+        view = ResidualGraph(graph)
+        hits = sum(0 in generate_rr_set(view, rng, root=1) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import (
+    ConfigurationError,
+    GraphFormatError,
+    ReproError,
+    SamplingBudgetExceeded,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [ValidationError, ConfigurationError, GraphFormatError, SamplingBudgetExceeded],
+)
+def test_all_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_budget_error_is_runtime_error():
+    assert issubclass(SamplingBudgetExceeded, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise GraphFormatError("bad file")

@@ -1,0 +1,113 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    ReproducibleStream,
+    coin_flips,
+    derive_seed,
+    ensure_rng,
+    permutation,
+    sample_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_accepts_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_accepts_int_seed_reproducibly(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_passes_generator_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_rejects_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_are_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_reproducible_family(self):
+        first = [g.random() for g in spawn_rngs(3, 3)]
+        second = [g.random() for g in spawn_rngs(3, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestSamplingHelpers:
+    def test_sample_without_replacement_distinct(self, rng):
+        sample = sample_without_replacement(rng, list(range(20)), 10)
+        assert len(sample) == 10
+        assert len(set(sample.tolist())) == 10
+
+    def test_sample_without_replacement_oversized(self, rng):
+        sample = sample_without_replacement(rng, [1, 2, 3], 10)
+        assert sorted(sample.tolist()) == [1, 2, 3]
+
+    def test_coin_flips_shape_and_extremes(self, rng):
+        flips = coin_flips(rng, [0.0000001] * 50)
+        assert flips.shape == (50,)
+        assert flips.sum() <= 2
+        flips_all = coin_flips(rng, [1.0] * 50)
+        assert flips_all.all()
+
+    def test_coin_flips_empty(self, rng):
+        assert coin_flips(rng, []).shape == (0,)
+
+    def test_derive_seed_in_range(self, rng):
+        seed = derive_seed(rng)
+        assert 0 <= seed < 2**31 - 1
+
+    def test_permutation_preserves_elements(self, rng):
+        items = [3, 1, 4, 1, 5]
+        assert sorted(permutation(rng, items)) == sorted(items)
+
+
+class TestReproducibleStream:
+    def test_same_key_same_generator(self):
+        streams = ReproducibleStream(master_seed=1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_keys_different_streams(self):
+        streams = ReproducibleStream(master_seed=1)
+        assert streams.get("a").random() != streams.get("b").random()
+
+    def test_reproducible_across_instances(self):
+        value_one = ReproducibleStream(master_seed=9).get("x").random()
+        value_two = ReproducibleStream(master_seed=9).get("x").random()
+        assert value_one == value_two
+
+    def test_fresh_resets_stream(self):
+        streams = ReproducibleStream(master_seed=1)
+        first = streams.get("a").random()
+        fresh_value = streams.fresh("a").random()
+        assert first == fresh_value
+
+    def test_master_seed_property(self):
+        assert ReproducibleStream(master_seed=4).master_seed == 4

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timer import Timer, format_seconds
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(0.0000005).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0123) == "12.3ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.50s"
+
+    def test_minutes(self):
+        assert format_seconds(75.0) == "1m15.0s"
+
+    def test_negative(self):
+        assert format_seconds(-2.0).startswith("-")
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_accumulates_across_intervals(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_stop_without_start_is_noop(self):
+        timer = Timer()
+        assert timer.stop() == 0.0

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_node_ids,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValidationError, match="broken"):
+            require(False, "broken")
+
+
+class TestNumericValidators:
+    def test_positive_accepts(self):
+        assert require_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValidationError):
+            require_positive(value, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert require_non_negative(0, "x") == 0
+
+    def test_non_negative_rejects(self):
+        with pytest.raises(ValidationError):
+            require_non_negative(-0.1, "x")
+
+    @pytest.mark.parametrize("value", [0.001, 0.5, 1.0])
+    def test_probability_accepts(self, value):
+        assert require_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.01])
+    def test_probability_rejects(self, value):
+        with pytest.raises(ValidationError):
+            require_probability(value, "p")
+
+    def test_probability_allow_zero(self):
+        assert require_probability(0.0, "p", allow_zero=True) == 0.0
+
+    def test_in_range(self):
+        assert require_in_range(5, "x", 0, 10) == 5
+        with pytest.raises(ValidationError):
+            require_in_range(11, "x", 0, 10)
+
+
+class TestStructuralValidators:
+    def test_node_ids_valid(self):
+        assert require_node_ids([0, 2, 4], n=5) == [0, 2, 4]
+
+    @pytest.mark.parametrize("bad", [[-1], [5], [0, 7]])
+    def test_node_ids_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            require_node_ids(bad, n=5)
+
+    def test_require_type(self):
+        assert require_type(3, int, "x") == 3
+        with pytest.raises(ValidationError):
+            require_type("3", int, "x")
