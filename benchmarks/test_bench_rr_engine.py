@@ -1,0 +1,188 @@
+"""Microbenchmarks of the batched RR engine vs. the per-set legacy path.
+
+Two axes, both at ``REPRO_BENCH_SCALE``-controlled sizes (``smoke`` /
+``small`` / ``paper``):
+
+* **generation** — batched frontier-at-a-time sampling
+  (:func:`repro.sampling.engine.generate_rr_batch`) against the historical
+  per-set BFS (``generate_rr_sets(..., backend="legacy")``) on a generated
+  heavy-tailed graph of ≥ 10k nodes;
+* **coverage** — :class:`FlatRRCollection`'s array queries against the
+  dict-indexed :class:`RRCollection` on the same batch.
+
+``test_bench_speedup_series`` additionally records the measured series to
+``benchmarks/output/rr_engine.csv`` (like the figure benchmarks) and
+asserts the ISSUE's acceptance bar: batched generation at least 5x faster
+than the per-set loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, OUTPUT_DIR
+from repro.experiments.reporting import write_rows_csv
+from repro.graphs import generators
+from repro.graphs.weighting import weighted_cascade
+from repro.sampling.engine import generate_rr_batch
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.rr_sets import generate_rr_sets
+
+#: Graph size / batch size per benchmark scale (all graphs >= 10k nodes).
+ENGINE_SCALES = {
+    "smoke": {"nodes": 10_000, "theta": 2_000},
+    "small": {"nodes": 50_000, "theta": 8_000},
+    "paper": {"nodes": 200_000, "theta": 20_000},
+}
+
+
+@pytest.fixture(scope="module")
+def engine_params(bench_scale):
+    return ENGINE_SCALES.get(bench_scale.name, ENGINE_SCALES["smoke"])
+
+
+@pytest.fixture(scope="module")
+def engine_graph(engine_params):
+    graph = generators.barabasi_albert(
+        engine_params["nodes"], 4, random_state=BENCH_SEED
+    )
+    return weighted_cascade(graph)
+
+
+@pytest.fixture(scope="module")
+def flat_collection(engine_graph, engine_params):
+    return FlatRRCollection.generate(
+        engine_graph, engine_params["theta"], random_state=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def dict_collection(engine_graph, flat_collection):
+    return RRCollection(flat_collection.rr_sets, flat_collection.num_active_nodes)
+
+
+@pytest.fixture(scope="module")
+def query_sets(engine_graph):
+    # A target-set-sized conditioning set (k = 50 high-degree nodes), the
+    # shape of the marginal queries HATP/NDG issue every iteration.
+    by_degree = np.argsort(-engine_graph.out_degrees)
+    probe = int(by_degree[0])
+    conditioning = [int(v) for v in by_degree[1:51]]
+    return probe, conditioning
+
+
+# --------------------------------------------------------------------- #
+# generation
+# --------------------------------------------------------------------- #
+
+
+def test_bench_generation_batched(benchmark, engine_graph, engine_params):
+    theta = engine_params["theta"]
+    batch = benchmark(generate_rr_batch, engine_graph, theta, BENCH_SEED)
+    assert len(batch) == theta
+
+
+def test_bench_generation_per_set(benchmark, engine_graph, engine_params):
+    theta = engine_params["theta"]
+    sets = benchmark(generate_rr_sets, engine_graph, theta, BENCH_SEED, "legacy")
+    assert len(sets) == theta
+
+
+# --------------------------------------------------------------------- #
+# coverage queries
+# --------------------------------------------------------------------- #
+
+
+def test_bench_coverage_flat(benchmark, flat_collection, query_sets):
+    probe, conditioning = query_sets
+
+    def queries():
+        flat_collection.coverage(conditioning)
+        return flat_collection.marginal_coverage(probe, conditioning)
+
+    result = benchmark(queries)
+    assert result >= 0
+
+
+def test_bench_coverage_dict(benchmark, dict_collection, query_sets):
+    probe, conditioning = query_sets
+
+    def queries():
+        dict_collection.coverage(conditioning)
+        return dict_collection.marginal_coverage(probe, conditioning)
+
+    result = benchmark(queries)
+    assert result >= 0
+
+
+# --------------------------------------------------------------------- #
+# speedup series (written to benchmarks/output/, asserts the 5x bar)
+# --------------------------------------------------------------------- #
+
+
+def _best_of(function, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_speedup_series(engine_graph, engine_params, bench_scale, query_sets):
+    theta = engine_params["theta"]
+    probe, conditioning = query_sets
+
+    batched_seconds, batch = _best_of(
+        lambda: generate_rr_batch(engine_graph, theta, BENCH_SEED)
+    )
+    per_set_seconds, _ = _best_of(
+        lambda: generate_rr_sets(engine_graph, theta, BENCH_SEED, backend="legacy"),
+        repeats=1,
+    )
+    generation_speedup = per_set_seconds / batched_seconds
+
+    flat = FlatRRCollection(batch)
+    legacy = RRCollection(batch.to_sets(), batch.num_active_nodes)
+    flat.marginal_coverage(probe, conditioning)  # build the index outside timing
+
+    flat_mc_seconds, flat_mc = _best_of(
+        lambda: flat.marginal_coverage(probe, conditioning)
+    )
+    dict_mc_seconds, dict_mc = _best_of(
+        lambda: legacy.marginal_coverage(probe, conditioning)
+    )
+    assert flat_mc == dict_mc
+    flat_cov_seconds, flat_cov = _best_of(lambda: flat.coverage(conditioning))
+    dict_cov_seconds, dict_cov = _best_of(lambda: legacy.coverage(conditioning))
+    assert flat_cov == dict_cov
+
+    def row(metric, batched, reference):
+        return {
+            "scale": bench_scale.name,
+            "nodes": engine_graph.n,
+            "edges": engine_graph.m,
+            "theta": theta,
+            "metric": metric,
+            "batched_seconds": batched,
+            "reference_seconds": reference,
+            "speedup": reference / max(batched, 1e-12),
+        }
+
+    rows = [
+        row("generation", batched_seconds, per_set_seconds),
+        row("coverage", flat_cov_seconds, dict_cov_seconds),
+        row("marginal_coverage", flat_mc_seconds, dict_mc_seconds),
+    ]
+    write_rows_csv(rows, OUTPUT_DIR / "rr_engine.csv")
+
+    assert engine_graph.n >= 10_000
+    assert generation_speedup >= 5.0, (
+        f"batched generation only {generation_speedup:.1f}x faster than the "
+        f"per-set loop (theta={theta}, n={engine_graph.n})"
+    )

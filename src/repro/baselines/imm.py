@@ -13,18 +13,21 @@ a reasonable target set).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.graph import ProbabilisticGraph
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.sampling.rr_collection import RRCollection
 from repro.utils.rng import RandomState
 from repro.utils.validation import require, require_positive
 
+Collection = Union[RRCollection, FlatRRCollection]
+
 
 def greedy_max_coverage(
-    collection: RRCollection,
+    collection: Collection,
     k: int,
     candidates: Optional[Sequence[int]] = None,
 ) -> Tuple[List[int], float]:
@@ -32,22 +35,24 @@ def greedy_max_coverage(
 
     Returns the chosen nodes (in pick order) and the estimated spread of the
     chosen set.  When ``candidates`` is given the choice is restricted to it.
+    Accepts both the flat and the dict-indexed collection; the per-node gain
+    is a vectorized mask count either way.
     """
     require_positive(k, "k")
     covered = np.zeros(collection.num_sets, dtype=bool)
     pool = None if candidates is None else [int(v) for v in candidates]
     chosen: List[int] = []
     for _ in range(k):
-        best_node, best_gain, best_ids = None, -1, []
+        best_node, best_gain = None, -1
+        best_ids: np.ndarray = np.zeros(0, dtype=np.int64)
         search_space = pool if pool is not None else _nodes_appearing(collection)
         for node in search_space:
             if node in chosen:
                 continue
-            new_ids = [
-                rr_id for rr_id in collection.sets_containing(node) if not covered[rr_id]
-            ]
-            if len(new_ids) > best_gain:
-                best_node, best_gain, best_ids = node, len(new_ids), new_ids
+            ids = np.asarray(collection.sets_containing(node), dtype=np.int64)
+            new_ids = ids[~covered[ids]] if ids.size else ids
+            if new_ids.size > best_gain:
+                best_node, best_gain, best_ids = node, int(new_ids.size), new_ids
         if best_node is None:
             break
         chosen.append(best_node)
@@ -58,8 +63,10 @@ def greedy_max_coverage(
     return chosen, float(estimated_spread)
 
 
-def _nodes_appearing(collection: RRCollection) -> List[int]:
+def _nodes_appearing(collection: Collection) -> List[int]:
     """Every node that appears in at least one RR set (candidates for coverage)."""
+    if isinstance(collection, FlatRRCollection):
+        return collection.nodes_appearing().tolist()
     nodes = set()
     for rr in collection.rr_sets:
         nodes.update(rr)
@@ -79,7 +86,7 @@ def top_k_influential(
     """
     require_positive(k, "k")
     require(k <= graph.n, "k cannot exceed the number of nodes")
-    collection = RRCollection.generate(graph, num_samples, random_state)
+    collection = FlatRRCollection.generate(graph, num_samples, random_state)
     chosen, _ = greedy_max_coverage(collection, k)
     if len(chosen) < k:
         # Pad with the highest out-degree nodes not yet chosen (isolated-root
@@ -102,5 +109,5 @@ def estimate_influence(
     random_state: RandomState = None,
 ) -> float:
     """RIS estimate of ``E[I(S)]`` (convenience wrapper)."""
-    collection = RRCollection.generate(graph, num_samples, random_state)
+    collection = FlatRRCollection.generate(graph, num_samples, random_state)
     return collection.estimate_spread(seeds)

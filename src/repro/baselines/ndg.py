@@ -13,7 +13,7 @@ from typing import Dict, List, Mapping, Sequence, Set
 
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive
@@ -66,7 +66,7 @@ class NDG:
     ) -> NonadaptiveSelection:
         """Double-greedy profit selection on one RR-set batch."""
         timer = Timer().start()
-        collection = RRCollection.generate(graph, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(graph, self._num_samples, self._rng)
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
 

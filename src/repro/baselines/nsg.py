@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive
@@ -68,7 +68,7 @@ class NSG:
     ) -> NonadaptiveSelection:
         """Greedy profit selection on one RR-set batch."""
         timer = Timer().start()
-        collection = RRCollection.generate(graph, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(graph, self._num_samples, self._rng)
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
 
@@ -83,12 +83,9 @@ class NSG:
             best_gain = 0.0
             best_new_coverage: List[int] = []
             for node in remaining:
-                new_coverage = [
-                    rr_id
-                    for rr_id in collection.sets_containing(node)
-                    if not covered[rr_id]
-                ]
-                gain = len(new_coverage) * scale - cost_map.get(node, 0.0)
+                ids = collection.sets_containing(node)
+                new_coverage = ids[~covered[ids]]
+                gain = new_coverage.size * scale - cost_map.get(node, 0.0)
                 if gain > best_gain:
                     best_node, best_gain, best_new_coverage = node, gain, new_coverage
             if best_node is None:

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.errors import AdditiveErrorSchedule, DynamicThresholdState
 from repro.core.results import IterationRecord, SeedingResult
 from repro.core.session import AdaptiveSession
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -157,8 +157,8 @@ class ADDATP:
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = RRCollection.generate(residual, theta, self._rng)
-                collection_rear = RRCollection.generate(residual, theta, self._rng)
+                collection_front = FlatRRCollection.generate(residual, theta, self._rng)
+                collection_rear = FlatRRCollection.generate(residual, theta, self._rng)
                 rr_this_iteration += 2 * theta
 
                 front_estimate = (

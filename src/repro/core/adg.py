@@ -15,6 +15,12 @@ observed, and the residual graph shrinks; otherwise the node is dropped
 from the candidate set.  With access to exact expected spreads (the oracle
 model) the paper proves this policy is a 1/3 approximation of the optimal
 adaptive policy (Theorem 1).
+
+When ADG is driven by the RIS oracle
+(:class:`repro.core.oracle.RISSpreadOracle`), every oracle query samples a
+fresh batch through the vectorized engine of
+:mod:`repro.sampling.engine`, so the oracle-model algorithm shares the
+same fast sampling substrate as the noise-model ones.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.profit import CostMap, total_cost
 from repro.diffusion.spread import expected_spread_lower_bound, monte_carlo_spread_samples
 from repro.graphs.graph import ProbabilisticGraph
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import require, require_non_negative, require_positive
@@ -151,7 +151,7 @@ def estimate_spread_lower_bound(
     if num_mc_runs > 0:
         samples = monte_carlo_spread_samples(graph, nodes, num_mc_runs, random_state)
         return expected_spread_lower_bound(samples, confidence)
-    collection = RRCollection.generate(graph, num_rr_sets, random_state)
+    collection = FlatRRCollection.generate(graph, num_rr_sets, random_state)
     estimate = collection.estimate_spread(nodes)
     # Conservative additive slack: one standard error of the binomial count.
     fraction = collection.estimate_fraction(nodes)

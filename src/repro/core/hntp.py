@@ -21,7 +21,7 @@ from repro.core.hatp import HATP
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import as_residual
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -110,8 +110,8 @@ class HNTP:
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = RRCollection.generate(view, theta, self._rng)
-                collection_rear = RRCollection.generate(view, theta, self._rng)
+                collection_front = FlatRRCollection.generate(view, theta, self._rng)
+                collection_rear = FlatRRCollection.generate(view, theta, self._rng)
                 rr_this_iteration += 2 * theta
 
                 front_spread = collection_front.estimate_marginal_spread(node, selected)

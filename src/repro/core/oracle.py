@@ -29,7 +29,7 @@ from repro.diffusion.spread import (
 )
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -139,7 +139,7 @@ class RISSpreadOracle:
         self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
     ) -> float:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        collection = RRCollection.generate(view, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(view, self._num_samples, self._rng)
         return collection.estimate_spread(seeds)
 
     def marginal_spread(
@@ -149,7 +149,7 @@ class RISSpreadOracle:
         conditioning_set: Iterable[int],
     ) -> float:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        collection = RRCollection.generate(view, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(view, self._num_samples, self._rng)
         return collection.estimate_marginal_spread(node, conditioning_set)
 
 

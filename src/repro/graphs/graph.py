@@ -52,6 +52,7 @@ class ProbabilisticGraph:
         "_name",
         "_undirected_input",
         "_out_offsets",
+        "_out_sources",
         "_out_targets",
         "_out_probs",
         "_in_offsets",
@@ -113,6 +114,7 @@ class ProbabilisticGraph:
         # independent of the order the edge list was supplied in.
         order = np.lexsort((edge_array[:, 1], edge_array[:, 0]))
         sources = edge_array[order, 0]
+        self._out_sources = np.ascontiguousarray(sources)
         self._out_targets = np.ascontiguousarray(edge_array[order, 1])
         self._out_probs = np.ascontiguousarray(prob_array[order])
         self._out_offsets = np.zeros(n + 1, dtype=np.int64)
@@ -240,6 +242,16 @@ class ProbabilisticGraph:
             self._in_edge_ids[start:end],
         )
 
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw incoming CSR ``(offsets, sources, probabilities)`` (no copies; do not mutate).
+
+        This is the zero-overhead access path of the batched RR engine
+        (:mod:`repro.sampling.engine`), which gathers whole frontiers of
+        in-neighbourhoods at once instead of calling :meth:`in_neighbors`
+        node by node.
+        """
+        return self._in_offsets, self._in_sources, self._in_probs
+
     def out_degree(self, node: int) -> int:
         """Number of outgoing edges of ``node``."""
         return int(self._out_offsets[node + 1] - self._out_offsets[node])
@@ -265,10 +277,19 @@ class ProbabilisticGraph:
             for idx in range(start, end):
                 yield source, int(self._out_targets[idx]), float(self._out_probs[idx])
 
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Source node of every edge in edge-id order (cached; do not mutate)."""
+        return self._out_sources
+
+    @property
+    def edge_targets(self) -> np.ndarray:
+        """Target node of every edge in edge-id order (cached; do not mutate)."""
+        return self._out_targets
+
     def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(sources, targets, probabilities)`` arrays in edge-id order."""
-        sources = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(self._out_offsets))
-        return sources, self._out_targets.copy(), self._out_probs.copy()
+        return self._out_sources.copy(), self._out_targets.copy(), self._out_probs.copy()
 
     def edge_probability(self, source: int, target: int) -> float:
         """Return ``p(source, target)``; raises ``KeyError`` if the edge is absent."""

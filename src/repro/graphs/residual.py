@@ -34,7 +34,7 @@ class ResidualGraph:
         in the residual graph.  Defaults to all-active.
     """
 
-    __slots__ = ("_base", "_active")
+    __slots__ = ("_base", "_active", "_num_active", "_num_active_edges", "_active_nodes")
 
     def __init__(
         self,
@@ -51,6 +51,12 @@ class ResidualGraph:
                     f"active_mask must have shape ({base.n},), got {mask.shape}"
                 )
             self._active = mask.copy()
+        # The view is immutable (updates go through `without`), so the
+        # aggregates below are computed at most once and then served from
+        # cache — RR-set batches query them on every generation call.
+        self._num_active: Optional[int] = None
+        self._num_active_edges: Optional[int] = None
+        self._active_nodes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # identity / size
@@ -73,18 +79,32 @@ class ResidualGraph:
 
     @property
     def num_active(self) -> int:
-        """Number of nodes still present in the residual graph (``n_i``)."""
-        return int(self._active.sum())
+        """Number of nodes still present in the residual graph (``n_i``, cached)."""
+        if self._num_active is None:
+            self._num_active = int(self._active.sum())
+        return self._num_active
 
     @property
     def num_active_edges(self) -> int:
-        """Number of edges with both endpoints active (``m_i``)."""
-        sources, targets, _ = self._base.edge_array()
-        return int(np.count_nonzero(self._active[sources] & self._active[targets]))
+        """Number of edges with both endpoints active (``m_i``, cached).
+
+        Computed from the graph's cached edge-source array rather than by
+        materialising the full edge list (`edge_array` copies all three
+        columns, including an ``O(m)`` ``np.repeat`` in older revisions).
+        """
+        if self._num_active_edges is None:
+            sources = self._base.edge_sources
+            targets = self._base.edge_targets
+            self._num_active_edges = int(
+                np.count_nonzero(self._active[sources] & self._active[targets])
+            )
+        return self._num_active_edges
 
     def active_nodes(self) -> np.ndarray:
-        """Array of node ids still present."""
-        return np.nonzero(self._active)[0]
+        """Array of node ids still present (cached; do not mutate)."""
+        if self._active_nodes is None:
+            self._active_nodes = np.nonzero(self._active)[0]
+        return self._active_nodes
 
     def is_active(self, node: int) -> bool:
         """Whether ``node`` is still present in the residual graph."""

@@ -1,4 +1,45 @@
-"""Reverse-influence-sampling substrate: RR sets, coverage, concentration bounds."""
+"""Reverse-influence-sampling substrate: RR sets, coverage, concentration bounds.
+
+Architecture
+------------
+The sampling layer is organised around a batched, NumPy-vectorized engine:
+
+* :mod:`repro.sampling.engine` — :func:`generate_rr_batch` grows a whole
+  batch of RR sets simultaneously: roots are drawn with one bulk call, the
+  reverse BFS advances frontier-at-a-time over *all* roots at once against
+  the base graph's incoming CSR, the residual ``active`` mask is applied as
+  a single vectorized filter, and each layer's coin flips are one bulk
+  ``rng.random`` draw.  Output is an :class:`~repro.sampling.engine.RRBatch`
+  in flat ``(offsets, nodes)`` form.
+* :mod:`repro.sampling.flat_collection` —
+  :class:`~repro.sampling.flat_collection.FlatRRCollection` wraps a batch
+  with a CSR inverted index ``node -> rr_ids``; ``coverage`` /
+  ``marginal_coverage`` / ``covered_mask`` are bincount/boolean-mask
+  operations and ``extend`` is O(1) amortized.  Every algorithm in the repo
+  (ADDATP, HATP, HNTP, the RIS oracle behind ADG, and the IMM/NSG/NDG
+  baselines) samples through this path.
+* :mod:`repro.sampling.rr_sets` / :mod:`repro.sampling.rr_collection` — the
+  historical per-set BFS and dict-indexed collection.  They remain fully
+  supported as reference implementations.
+
+Backend switch
+--------------
+Generation entry points (``generate_rr_batch``, ``generate_rr_sets``,
+``RRCollection.generate``, ``FlatRRCollection.generate``) take a
+``backend`` argument:
+
+* ``"vectorized"`` (default) — the batched NumPy engine;
+* ``"python"`` — a loop-based reference implementing the *same* RNG
+  contract (bulk root draw, per-layer bulk coin flips in frontier order),
+  so a shared seed yields bit-for-bit identical batches — this is what the
+  differential tests assert;
+* ``"legacy"`` (``generate_rr_sets`` only) — the original per-set BFS,
+  which consumes the RNG stream per set and therefore matches the engine
+  statistically but not bit-for-bit.
+
+See ``docs/performance.md`` for measured speedups and benchmark
+regeneration instructions (``benchmarks/test_bench_rr_engine.py``).
+"""
 
 from repro.sampling.bounds import (
     SpreadConfidenceInterval,
@@ -11,11 +52,13 @@ from repro.sampling.bounds import (
     hybrid_sample_size,
     hybrid_upper_tail,
 )
+from repro.sampling.engine import RRBatch, generate_rr_batch
 from repro.sampling.estimators import (
     RISProfitEstimator,
     RISSpreadEstimator,
     choose_sample_size_like_hatp,
 )
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.sampling.rr_collection import RRCollection
 from repro.sampling.rr_sets import (
     expected_rr_width,
@@ -25,14 +68,17 @@ from repro.sampling.rr_sets import (
 )
 
 __all__ = [
+    "FlatRRCollection",
     "RISProfitEstimator",
     "RISSpreadEstimator",
+    "RRBatch",
     "RRCollection",
     "SpreadConfidenceInterval",
     "additive_confidence_interval",
     "additive_error_for_budget",
     "choose_sample_size_like_hatp",
     "expected_rr_width",
+    "generate_rr_batch",
     "generate_rr_set",
     "generate_rr_sets",
     "hoeffding_sample_size",

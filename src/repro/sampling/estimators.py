@@ -12,7 +12,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
-from repro.sampling.rr_collection import RRCollection
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState
 
 
@@ -37,10 +37,10 @@ class RISSpreadEstimator:
     ) -> None:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         self._view = view
-        self._collection = RRCollection.generate(view, num_samples, random_state)
+        self._collection = FlatRRCollection.generate(view, num_samples, random_state)
 
     @property
-    def collection(self) -> RRCollection:
+    def collection(self) -> FlatRRCollection:
         """The underlying RR collection."""
         return self._collection
 

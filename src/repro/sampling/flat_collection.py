@@ -1,0 +1,285 @@
+"""Flat, array-backed RR-set collections with vectorized coverage queries.
+
+:class:`FlatRRCollection` is the production counterpart of
+:class:`repro.sampling.rr_collection.RRCollection`.  It answers the same
+two questions — ``CovR(S)`` and the marginal ``CovR(u | S)`` — but stores
+the batch as flat int64 arrays:
+
+* ``(offsets, nodes)``: CSR over RR-set ids (set ``i`` is
+  ``nodes[offsets[i]:offsets[i+1]]``), exactly the layout produced by
+  :func:`repro.sampling.engine.generate_rr_batch`;
+* an inverted CSR index ``node -> rr_ids`` built once per consolidation,
+  so coverage queries are array gathers plus boolean-mask arithmetic
+  instead of Python ``dict``/``set`` traversals.
+
+``extend`` is O(1) amortized: appended batches are buffered and both the
+flat storage and the inverted index are rebuilt lazily on the next query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph, as_residual
+from repro.sampling.engine import RRBatch, flat_slice_indices, generate_rr_batch
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import RandomState
+
+
+class FlatRRCollection:
+    """A batch of RR sets stored as flat arrays with a CSR inverted index.
+
+    Parameters
+    ----------
+    batch:
+        The RR sets as an :class:`~repro.sampling.engine.RRBatch`.
+    """
+
+    __slots__ = (
+        "_offsets",
+        "_nodes",
+        "_num_active_nodes",
+        "_n",
+        "_pending",
+        "_inv_offsets",
+        "_inv_rr_ids",
+    )
+
+    def __init__(self, batch: RRBatch) -> None:
+        if batch.num_active_nodes < 0:
+            raise ValidationError("num_active_nodes must be >= 0")
+        self._offsets = np.asarray(batch.offsets, dtype=np.int64)
+        self._nodes = np.asarray(batch.nodes, dtype=np.int64)
+        self._num_active_nodes = int(batch.num_active_nodes)
+        self._n = int(batch.n)
+        self._pending: List[RRBatch] = []
+        self._inv_offsets: Optional[np.ndarray] = None
+        self._inv_rr_ids: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def generate(
+        cls,
+        graph: ProbabilisticGraph | ResidualGraph,
+        count: int,
+        random_state: RandomState = None,
+        backend: str = "vectorized",
+    ) -> "FlatRRCollection":
+        """Generate ``count`` RR sets on ``graph`` with the batched engine."""
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        return cls(generate_rr_batch(view, count, random_state, backend=backend))
+
+    @classmethod
+    def from_rr_sets(
+        cls,
+        rr_sets: Sequence[Iterable[int]],
+        num_active_nodes: int,
+        n: Optional[int] = None,
+    ) -> "FlatRRCollection":
+        """Build a collection from explicit RR sets (tests, hand-built cases)."""
+        return cls(_batch_from_sets(rr_sets, num_active_nodes, n))
+
+    def extend(self, rr_sets: Union[RRBatch, Iterable[Iterable[int]]]) -> None:
+        """Append RR sets (an ``RRBatch`` or explicit sets); index rebuilt lazily."""
+        if isinstance(rr_sets, RRBatch):
+            batch = rr_sets
+        else:
+            batch = _batch_from_sets(list(rr_sets), self._num_active_nodes, self._n)
+        if batch.n > self._n:
+            self._n = int(batch.n)
+        self._pending.append(batch)
+        self._inv_offsets = None
+        self._inv_rr_ids = None
+
+    def _consolidate(self) -> None:
+        if not self._pending:
+            return
+        offsets_parts = [self._offsets]
+        nodes_parts = [self._nodes]
+        last_offset = int(self._offsets[-1])
+        for batch in self._pending:
+            offsets_parts.append(last_offset + batch.offsets[1:])
+            nodes_parts.append(np.asarray(batch.nodes, dtype=np.int64))
+            last_offset += int(batch.offsets[-1])
+        self._offsets = np.concatenate(offsets_parts)
+        self._nodes = np.concatenate(nodes_parts)
+        self._pending = []
+
+    def _index(self) -> tuple:
+        """The inverted CSR index ``node -> rr_ids`` (built on demand)."""
+        self._consolidate()
+        if self._inv_offsets is None:
+            counts = np.bincount(self._nodes, minlength=self._n)
+            self._inv_offsets = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(counts, out=self._inv_offsets[1:])
+            order = np.argsort(self._nodes, kind="stable")
+            rr_of_position = np.repeat(
+                np.arange(self.num_sets, dtype=np.int64), np.diff(self._offsets)
+            )
+            self._inv_rr_ids = rr_of_position[order]
+        return self._inv_offsets, self._inv_rr_ids
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_sets(self) -> int:
+        """θ — the number of RR sets in the collection."""
+        self._consolidate()
+        return int(self._offsets.shape[0] - 1)
+
+    @property
+    def num_active_nodes(self) -> int:
+        """``n_i`` of the residual graph the sets were sampled on."""
+        return self._num_active_nodes
+
+    @property
+    def rr_sets(self) -> List[Set[int]]:
+        """The RR sets materialised as Python sets (compat; costs O(total size))."""
+        self._consolidate()
+        offsets = self._offsets
+        node_list = self._nodes.tolist()
+        return [
+            set(node_list[offsets[i] : offsets[i + 1]]) for i in range(self.num_sets)
+        ]
+
+    def set_at(self, index: int) -> np.ndarray:
+        """Members of RR set ``index`` (read-only view)."""
+        self._consolidate()
+        return self._nodes[self._offsets[index] : self._offsets[index + 1]]
+
+    def sets_containing(self, node: int) -> np.ndarray:
+        """Ids of the RR sets that contain ``node`` (int64 array)."""
+        node = int(node)
+        if node < 0 or node >= self._n:
+            return np.zeros(0, dtype=np.int64)
+        inv_offsets, inv_rr_ids = self._index()
+        return inv_rr_ids[inv_offsets[node] : inv_offsets[node + 1]]
+
+    def total_size(self) -> int:
+        """Sum of RR-set sizes (a proxy for generation cost)."""
+        self._consolidate()
+        return int(self._nodes.shape[0])
+
+    def sizes(self) -> np.ndarray:
+        """Array of RR-set sizes."""
+        self._consolidate()
+        return np.diff(self._offsets)
+
+    def nodes_appearing(self) -> np.ndarray:
+        """Node ids appearing in at least one RR set (sorted)."""
+        inv_offsets, _ = self._index()
+        return np.nonzero(np.diff(inv_offsets) > 0)[0]
+
+    # ------------------------------------------------------------------ #
+    # coverage queries
+    # ------------------------------------------------------------------ #
+
+    def _covered_ids(self, nodes: Iterable[int]) -> np.ndarray:
+        """Concatenated (non-unique) rr ids of the sets touched by ``nodes``.
+
+        One vectorized gather over the inverted CSR: the per-node slices are
+        addressed with a single repeat/arange index instead of a Python
+        slice per node.
+        """
+        inv_offsets, inv_rr_ids = self._index()
+        node_array = np.asarray(
+            nodes if isinstance(nodes, np.ndarray) else list(nodes), dtype=np.int64
+        )
+        if node_array.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        node_array = node_array[(node_array >= 0) & (node_array < self._n)]
+        starts = inv_offsets[node_array]
+        degrees = inv_offsets[node_array + 1] - starts
+        if int(degrees.sum()) == 0:
+            return np.zeros(0, dtype=np.int64)
+        return inv_rr_ids[flat_slice_indices(starts, degrees)]
+
+    def covered_mask(self, nodes: Iterable[int]) -> np.ndarray:
+        """Boolean array over RR-set ids marking the sets intersected by ``nodes``."""
+        mask = np.zeros(self.num_sets, dtype=bool)
+        ids = self._covered_ids(nodes)
+        if ids.size:
+            mask[ids] = True
+        return mask
+
+    def coverage(self, nodes: Iterable[int]) -> int:
+        """``CovR(S)``: number of RR sets intersecting ``nodes``."""
+        return int(np.count_nonzero(self.covered_mask(nodes)))
+
+    def marginal_coverage(self, node: int, conditioning_set: Iterable[int]) -> int:
+        """``CovR(u | S)``: RR sets containing ``u`` but disjoint from ``S``."""
+        node = int(node)
+        ids = self.sets_containing(node)
+        if ids.size == 0:
+            return 0
+        conditioning = {int(v) for v in conditioning_set}
+        conditioning.discard(node)
+        if not conditioning:
+            return int(ids.size)
+        mask = self.covered_mask(conditioning)
+        return int(ids.size - np.count_nonzero(mask[ids]))
+
+    # ------------------------------------------------------------------ #
+    # spread estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate_spread(self, nodes: Iterable[int]) -> float:
+        """``Ê[I(S)] = CovR(S) * n_i / θ`` (0 when the collection is empty)."""
+        if self.num_sets == 0:
+            return 0.0
+        return self.coverage(nodes) * self._num_active_nodes / self.num_sets
+
+    def estimate_marginal_spread(self, node: int, conditioning_set: Iterable[int]) -> float:
+        """``Ê[I(u | S)] = CovR(u | S) * n_i / θ``."""
+        if self.num_sets == 0:
+            return 0.0
+        return (
+            self.marginal_coverage(node, conditioning_set)
+            * self._num_active_nodes
+            / self.num_sets
+        )
+
+    def estimate_fraction(self, nodes: Iterable[int]) -> float:
+        """Covered fraction ``CovR(S)/θ`` — the ``[0, 1]`` random variable of Lemma 7."""
+        if self.num_sets == 0:
+            return 0.0
+        return self.coverage(nodes) / self.num_sets
+
+    def __len__(self) -> int:
+        return self.num_sets
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FlatRRCollection sets={self.num_sets} n_i={self._num_active_nodes}>"
+
+
+def _batch_from_sets(
+    rr_sets: Sequence[Iterable[int]],
+    num_active_nodes: int,
+    n: Optional[int] = None,
+) -> RRBatch:
+    """Flatten explicit RR sets into an :class:`RRBatch`."""
+    materialized = [sorted({int(v) for v in rr}) for rr in rr_sets]
+    sizes = np.asarray([len(rr) for rr in materialized], dtype=np.int64)
+    offsets = np.zeros(len(materialized) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    flat = [node for rr in materialized for node in rr]
+    nodes = np.asarray(flat, dtype=np.int64)
+    if nodes.size and nodes.min() < 0:
+        raise ValidationError("RR sets contain negative node ids")
+    universe = int(nodes.max()) + 1 if nodes.size else 0
+    if n is not None:
+        universe = max(universe, int(n))
+    return RRBatch(
+        offsets=offsets,
+        nodes=nodes,
+        num_active_nodes=int(num_active_nodes),
+        n=universe,
+    )

@@ -14,6 +14,12 @@ With the RIS identity these give the spread estimators
 :class:`RRCollection` stores the RR sets together with an inverted index
 ``node -> RR-set ids`` so both queries cost time proportional to the RR sets
 actually touched rather than to the whole collection.
+
+This dict-indexed collection is the *reference* implementation: the
+algorithms sample through the array-backed
+:class:`repro.sampling.flat_collection.FlatRRCollection`, whose queries are
+vectorized over flat int64 storage.  Both classes expose the same query
+API, which is what the differential tests lean on.
 """
 
 from __future__ import annotations
@@ -63,10 +69,17 @@ class RRCollection:
         graph: ProbabilisticGraph | ResidualGraph,
         count: int,
         random_state: RandomState = None,
+        backend: str = "vectorized",
     ) -> "RRCollection":
-        """Generate ``count`` RR sets on ``graph`` and index them."""
+        """Generate ``count`` RR sets on ``graph`` and index them.
+
+        The sets come from the batched engine by default (``backend`` as in
+        :func:`repro.sampling.rr_sets.generate_rr_sets`); for array-native
+        storage and vectorized coverage queries prefer
+        :class:`repro.sampling.flat_collection.FlatRRCollection`.
+        """
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        rr_sets = generate_rr_sets(view, count, random_state)
+        rr_sets = generate_rr_sets(view, count, random_state, backend=backend)
         return cls(rr_sets, view.num_active)
 
     def extend(self, rr_sets: Iterable[Set[int]]) -> None:

@@ -83,11 +83,28 @@ def generate_rr_sets(
     graph: ProbabilisticGraph | ResidualGraph,
     count: int,
     random_state: RandomState = None,
+    backend: str = "vectorized",
 ) -> List[Set[int]]:
-    """Generate ``count`` independent random RR sets on ``graph``."""
+    """Generate ``count`` independent random RR sets on ``graph``.
+
+    ``backend`` selects the sampling engine: ``"vectorized"`` (default) and
+    ``"python"`` route through the batched engine of
+    :mod:`repro.sampling.engine` and materialise its flat output as Python
+    sets; ``"legacy"`` runs the historical per-set BFS of
+    :func:`generate_rr_set` (one sequential RNG stream per batch, kept for
+    reference and differential testing).
+    """
     if count < 0:
         raise ValidationError(f"count must be >= 0, got {count}")
+    if backend not in ("vectorized", "python", "legacy"):
+        raise ValidationError(
+            f"unknown backend {backend!r}; available: vectorized, python, legacy"
+        )
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+    if backend != "legacy":
+        from repro.sampling.engine import generate_rr_batch
+
+        return generate_rr_batch(view, count, random_state, backend=backend).to_sets()
     rng = ensure_rng(random_state)
     active = view.active_nodes()
     return [generate_rr_set(view, rng, active_nodes=active) for _ in range(count)]
@@ -108,5 +125,7 @@ def expected_rr_width(
     The paper's complexity analysis (Theorem 3/5) is phrased in terms of the
     expected cost of generating one RR set; this helper measures it.
     """
-    sizes = rr_set_sizes(generate_rr_sets(graph, num_samples, random_state))
+    from repro.sampling.engine import generate_rr_batch
+
+    sizes = generate_rr_batch(graph, num_samples, random_state).sizes()
     return float(sizes.mean()) if sizes.size else 0.0
