@@ -11,9 +11,11 @@ Two axes, both at ``REPRO_BENCH_SCALE``-controlled sizes (``smoke`` /
   dict-indexed :class:`RRCollection` on the same batch.
 
 ``test_bench_speedup_series`` additionally records the measured series to
-``benchmarks/output/rr_engine.csv`` (like the figure benchmarks) and
-asserts the ISSUE's acceptance bar: batched generation at least 5x faster
-than the per-set loop.
+``benchmarks/output/rr_engine.csv`` *and* ``benchmarks/output/rr_engine.json``
+(the machine-readable twin, diffable across PRs) and asserts the ISSUE's
+acceptance bar: batched generation at least 5x faster than the per-set
+loop.  The jobs-scaling series of the parallel pool lives in
+``benchmarks/test_bench_parallel_pool.py``.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import BENCH_SEED, OUTPUT_DIR
-from repro.experiments.reporting import write_rows_csv
+from repro.experiments.reporting import write_rows_csv, write_rows_json
 from repro.graphs import generators
 from repro.graphs.weighting import weighted_cascade
 from repro.sampling.engine import generate_rr_batch
@@ -180,6 +182,7 @@ def test_bench_speedup_series(engine_graph, engine_params, bench_scale, query_se
         row("marginal_coverage", flat_mc_seconds, dict_mc_seconds),
     ]
     write_rows_csv(rows, OUTPUT_DIR / "rr_engine.csv")
+    write_rows_json(rows, OUTPUT_DIR / "rr_engine.json")
 
     assert engine_graph.n >= 10_000
     assert generation_speedup >= 5.0, (

@@ -78,6 +78,7 @@ def top_k_influential(
     k: int,
     num_samples: int = 5000,
     random_state: RandomState = None,
+    n_jobs: Optional[int] = None,
 ) -> List[int]:
     """The top-``k`` influential nodes by greedy RR-set coverage.
 
@@ -86,7 +87,7 @@ def top_k_influential(
     """
     require_positive(k, "k")
     require(k <= graph.n, "k cannot exceed the number of nodes")
-    collection = FlatRRCollection.generate(graph, num_samples, random_state)
+    collection = FlatRRCollection.generate(graph, num_samples, random_state, n_jobs=n_jobs)
     chosen, _ = greedy_max_coverage(collection, k)
     if len(chosen) < k:
         # Pad with the highest out-degree nodes not yet chosen (isolated-root
@@ -107,7 +108,8 @@ def estimate_influence(
     seeds: Sequence[int],
     num_samples: int = 5000,
     random_state: RandomState = None,
+    n_jobs: Optional[int] = None,
 ) -> float:
     """RIS estimate of ``E[I(S)]`` (convenience wrapper)."""
-    collection = FlatRRCollection.generate(graph, num_samples, random_state)
+    collection = FlatRRCollection.generate(graph, num_samples, random_state, n_jobs=n_jobs)
     return collection.estimate_spread(seeds)

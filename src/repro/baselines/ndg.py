@@ -9,10 +9,11 @@ profit) is available through ``randomized=True``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
+from repro.parallel.pool import resolve_jobs
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -33,6 +34,9 @@ class NDG:
         deterministic comparison.
     random_state:
         RNG for RR-set generation (and the randomized variant's coins).
+    n_jobs:
+        Worker processes for generating the batch (``None`` honours
+        ``REPRO_JOBS``; ``-1`` uses all cores).
     """
 
     name = "NDG"
@@ -43,6 +47,7 @@ class NDG:
         num_samples: int = 10_000,
         randomized: bool = False,
         random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         require_positive(num_samples, "num_samples")
@@ -50,6 +55,7 @@ class NDG:
         self._num_samples = int(num_samples)
         self._randomized = bool(randomized)
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
 
     @property
     def target(self) -> List[int]:
@@ -66,7 +72,9 @@ class NDG:
     ) -> NonadaptiveSelection:
         """Double-greedy profit selection on one RR-set batch."""
         timer = Timer().start()
-        collection = FlatRRCollection.generate(graph, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(
+            graph, self._num_samples, self._rng, n_jobs=self._n_jobs
+        )
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
 

@@ -14,12 +14,13 @@ match the largest per-iteration batch HATP generates (Section VI-A).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
+from repro.parallel.pool import resolve_jobs
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -37,6 +38,9 @@ class NSG:
         Size of the single RR-set batch.
     random_state:
         RNG for RR-set generation.
+    n_jobs:
+        Worker processes for generating the batch (``None`` honours
+        ``REPRO_JOBS``; ``-1`` uses all cores).
     """
 
     name = "NSG"
@@ -46,12 +50,14 @@ class NSG:
         target: Sequence[int],
         num_samples: int = 10_000,
         random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         require_positive(num_samples, "num_samples")
         self._target: List[int] = [int(v) for v in target]
         self._num_samples = int(num_samples)
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
 
     @property
     def target(self) -> List[int]:
@@ -68,7 +74,9 @@ class NSG:
     ) -> NonadaptiveSelection:
         """Greedy profit selection on one RR-set batch."""
         timer = Timer().start()
-        collection = FlatRRCollection.generate(graph, self._num_samples, self._rng)
+        collection = FlatRRCollection.generate(
+            graph, self._num_samples, self._rng, n_jobs=self._n_jobs
+        )
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.errors import AdditiveErrorSchedule, DynamicThresholdState
 from repro.core.results import IterationRecord, SeedingResult
 from repro.core.session import AdaptiveSession
+from repro.parallel.pool import SamplingPool, resolve_jobs
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
@@ -70,6 +71,10 @@ class ADDATP:
         :class:`~repro.utils.exceptions.SamplingBudgetExceeded`.
     random_state:
         RNG used for RR-set generation.
+    n_jobs:
+        Worker processes for RR-set generation (``None`` honours the
+        ``REPRO_JOBS`` environment variable and otherwise keeps the
+        historical in-process path; ``-1`` uses all cores).
     """
 
     name = "ADDATP"
@@ -85,6 +90,7 @@ class ADDATP:
         max_samples_per_round: int = 20_000,
         on_budget: str = "decide",
         random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -102,6 +108,7 @@ class ADDATP:
         self._max_samples_per_round = int(max_samples_per_round)
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
 
     @property
     def target(self) -> List[int]:
@@ -114,6 +121,20 @@ class ADDATP:
 
     def run(self, session: AdaptiveSession) -> SeedingResult:
         """Execute Algorithm 3 against ``session``."""
+        pool = (
+            SamplingPool(session.graph, n_jobs=self._n_jobs)
+            if self._n_jobs is not None
+            else None
+        )
+        try:
+            return self._execute(session, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _execute(
+        self, session: AdaptiveSession, pool: Optional[SamplingPool]
+    ) -> SeedingResult:
         timer = Timer().start()
         n = max(session.graph.n, 2)
         k = len(self._target)
@@ -157,8 +178,12 @@ class ADDATP:
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(residual, theta, self._rng)
-                collection_rear = FlatRRCollection.generate(residual, theta, self._rng)
+                collection_front = FlatRRCollection.generate(
+                    residual, theta, self._rng, pool=pool
+                )
+                collection_rear = FlatRRCollection.generate(
+                    residual, theta, self._rng, pool=pool
+                )
                 rr_this_iteration += 2 * theta
 
                 front_estimate = (

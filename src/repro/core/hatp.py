@@ -29,11 +29,12 @@ test as ADG's ``ρ_f ≥ ρ_r`` written in terms of the raw spread estimates.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.errors import HybridErrorSchedule
 from repro.core.results import IterationRecord, SeedingResult
 from repro.core.session import AdaptiveSession
+from repro.parallel.pool import SamplingPool, resolve_jobs
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
@@ -61,6 +62,13 @@ class HATP:
         Practical engine budgets, as in :class:`~repro.core.addatp.ADDATP`.
     random_state:
         RNG used for RR-set generation.
+    n_jobs:
+        Worker processes for RR-set generation (``None`` honours the
+        ``REPRO_JOBS`` environment variable and otherwise keeps the
+        historical in-process path; ``-1`` uses all cores).  When set, a
+        persistent :class:`~repro.parallel.pool.SamplingPool` is held open
+        for the whole run and the sampled batches are bit-for-bit
+        independent of the worker count.
     """
 
     name = "HATP"
@@ -76,6 +84,7 @@ class HATP:
         max_samples_per_round: int = 20_000,
         on_budget: str = "decide",
         random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -96,6 +105,7 @@ class HATP:
         self._max_samples_per_round = int(max_samples_per_round)
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -140,6 +150,20 @@ class HATP:
 
     def run(self, session: AdaptiveSession) -> SeedingResult:
         """Execute Algorithm 4 against ``session``."""
+        pool = (
+            SamplingPool(session.graph, n_jobs=self._n_jobs)
+            if self._n_jobs is not None
+            else None
+        )
+        try:
+            return self._execute(session, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _execute(
+        self, session: AdaptiveSession, pool: Optional[SamplingPool]
+    ) -> SeedingResult:
         timer = Timer().start()
         n = max(session.graph.n, 2)
         k = len(self._target)
@@ -180,8 +204,12 @@ class HATP:
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(residual, theta, self._rng)
-                collection_rear = FlatRRCollection.generate(residual, theta, self._rng)
+                collection_front = FlatRRCollection.generate(
+                    residual, theta, self._rng, pool=pool
+                )
+                collection_rear = FlatRRCollection.generate(
+                    residual, theta, self._rng, pool=pool
+                )
                 rr_this_iteration += 2 * theta
 
                 front_spread = collection_front.estimate_marginal_spread(node, selected)

@@ -14,13 +14,14 @@ than HATP: HATP's RR sets live on ever-shrinking residual graphs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.errors import HybridErrorSchedule
 from repro.core.hatp import HATP
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import as_residual
+from repro.parallel.pool import SamplingPool, resolve_jobs
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
@@ -47,6 +48,7 @@ class HNTP:
         max_samples_per_round: int = 20_000,
         on_budget: str = "decide",
         random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -67,6 +69,7 @@ class HNTP:
         self._max_samples_per_round = int(max_samples_per_round)
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
 
     @property
     def target(self) -> List[int]:
@@ -77,6 +80,23 @@ class HNTP:
         self, graph: ProbabilisticGraph, costs: Mapping[int, float]
     ) -> NonadaptiveSelection:
         """Choose the seed set nonadaptively on the full graph ``G``."""
+        pool = (
+            SamplingPool(graph, n_jobs=self._n_jobs)
+            if self._n_jobs is not None
+            else None
+        )
+        try:
+            return self._select(graph, costs, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _select(
+        self,
+        graph: ProbabilisticGraph,
+        costs: Mapping[int, float],
+        pool: Optional[SamplingPool],
+    ) -> NonadaptiveSelection:
         timer = Timer().start()
         view = as_residual(graph)
         n = max(graph.n, 2)
@@ -110,8 +130,12 @@ class HNTP:
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(view, theta, self._rng)
-                collection_rear = FlatRRCollection.generate(view, theta, self._rng)
+                collection_front = FlatRRCollection.generate(
+                    view, theta, self._rng, pool=pool
+                )
+                collection_rear = FlatRRCollection.generate(
+                    view, theta, self._rng, pool=pool
+                )
                 rr_this_iteration += 2 * theta
 
                 front_spread = collection_front.estimate_marginal_spread(node, selected)

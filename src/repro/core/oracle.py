@@ -19,7 +19,7 @@ marginal *profits* directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Protocol
+from typing import Dict, Iterable, Mapping, Optional, Protocol
 
 from repro.core.profit import total_cost
 from repro.diffusion.spread import (
@@ -124,23 +124,65 @@ class MonteCarloSpreadOracle:
 
 
 class RISSpreadOracle:
-    """RIS-based oracle: a fresh RR batch per query (unbiased, cheap)."""
+    """RIS-based oracle: a fresh RR batch per query (unbiased, cheap).
 
-    def __init__(self, num_samples: int = 2000, random_state: RandomState = None) -> None:
+    ``n_jobs`` routes every query's batch through the parallel sampling
+    subsystem (``None`` honours ``REPRO_JOBS``; ``-1`` uses all cores).
+    The oracle is a repeated sampler, so it holds one persistent
+    :class:`~repro.parallel.pool.SamplingPool` per base graph instead of
+    paying worker start-up per query; call :meth:`close` (or use the
+    oracle as a context manager) to release the pool's workers and shared
+    memory eagerly.
+    """
+
+    def __init__(
+        self,
+        num_samples: int = 2000,
+        random_state: RandomState = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        from repro.parallel.pool import resolve_jobs
+
         self._num_samples = int(num_samples)
         self._rng = ensure_rng(random_state)
+        self._n_jobs = resolve_jobs(n_jobs)
+        self._pool = None
 
     @property
     def num_samples(self) -> int:
         """RR sets per query."""
         return self._num_samples
 
+    def _collection(self, view: ResidualGraph) -> FlatRRCollection:
+        if self._n_jobs is None:
+            return FlatRRCollection.generate(view, self._num_samples, self._rng)
+        if self._pool is None or self._pool.base is not view.base:
+            from repro.parallel.pool import SamplingPool
+
+            if self._pool is not None:
+                self._pool.close()
+            self._pool = SamplingPool(view, n_jobs=self._n_jobs)
+        return FlatRRCollection.generate(
+            view, self._num_samples, self._rng, pool=self._pool
+        )
+
+    def close(self) -> None:
+        """Release the held sampling pool, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "RISSpreadOracle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def expected_spread(
         self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
     ) -> float:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        collection = FlatRRCollection.generate(view, self._num_samples, self._rng)
-        return collection.estimate_spread(seeds)
+        return self._collection(view).estimate_spread(seeds)
 
     def marginal_spread(
         self,
@@ -149,8 +191,7 @@ class RISSpreadOracle:
         conditioning_set: Iterable[int],
     ) -> float:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        collection = FlatRRCollection.generate(view, self._num_samples, self._rng)
-        return collection.estimate_marginal_spread(node, conditioning_set)
+        return self._collection(view).estimate_marginal_spread(node, conditioning_set)
 
 
 class ProfitOracle:

@@ -58,6 +58,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--datasets", nargs="+", default=None, help="restrict to these datasets")
     parser.add_argument("--dataset", default=None, help="single-dataset experiments (fig4a/4b/9)")
     parser.add_argument("--seed", type=int, default=2020, help="master random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for RR-set generation (-1 = all cores; "
+        "default: the REPRO_JOBS environment variable, else 1)",
+    )
     parser.add_argument("--csv", default=None, help="write long-format rows to this CSV file")
     parser.add_argument(
         "--plot", action="store_true", help="also render each series as an ASCII chart"
@@ -71,6 +78,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def run_experiment(args: argparse.Namespace):
     """Dispatch to the requested driver and return its result object."""
     scale = get_scale(args.scale)
+    if args.jobs is not None:
+        scale = scale.with_engine(n_jobs=args.jobs)
     seed = args.seed
     if args.experiment == "table2":
         return reproduce_table2(scale, dataset_names=args.datasets, random_state=seed)

@@ -81,6 +81,7 @@ def error_mode_ablation(
             max_rounds=engine.max_rounds,
             max_samples_per_round=engine.max_samples_per_round,
             random_state=inner_rng,
+            n_jobs=engine.n_jobs,
         ),
     )
     addatp_spec = AlgorithmSpec(
@@ -92,6 +93,7 @@ def error_mode_ablation(
             max_rounds=engine.addatp_max_rounds,
             max_samples_per_round=engine.addatp_max_samples_per_round,
             random_state=inner_rng,
+            n_jobs=engine.n_jobs,
         ),
     )
     hatp = evaluate_adaptive(hatp_spec, instance, realizations, rng)
@@ -137,6 +139,7 @@ def adaptivity_ablation(
             max_rounds=engine.max_rounds,
             max_samples_per_round=engine.max_samples_per_round,
             random_state=inner_rng,
+            n_jobs=engine.n_jobs,
         ),
     )
     hntp_spec = AlgorithmSpec(
@@ -150,6 +153,7 @@ def adaptivity_ablation(
             max_rounds=engine.max_rounds,
             max_samples_per_round=engine.max_samples_per_round,
             random_state=inner_rng,
+            n_jobs=engine.n_jobs,
         ),
     )
     adaptive = evaluate_adaptive(hatp_spec, instance, realizations, rng)
@@ -199,6 +203,7 @@ def sample_cap_ablation(
                 max_rounds=engine.max_rounds,
                 max_samples_per_round=_cap,
                 random_state=inner_rng,
+                n_jobs=engine.n_jobs,
             ),
         )
         outcome = evaluate_adaptive(spec, instance, realizations, rng)
@@ -237,6 +242,7 @@ def dynamic_threshold_ablation(
                 max_rounds=engine.addatp_max_rounds,
                 max_samples_per_round=engine.addatp_max_samples_per_round,
                 random_state=inner_rng,
+                n_jobs=engine.n_jobs,
             )
 
         return _make

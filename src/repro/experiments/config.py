@@ -47,6 +47,10 @@ class EngineParameters:
     addatp_max_samples_per_round: int = 2000
     baseline_sample_size: Optional[int] = None
     """RR batch for NSG / NDG; ``None`` derives it from the HATP cap."""
+    n_jobs: Optional[int] = None
+    """Worker processes for RR-set generation (``None`` honours the
+    ``REPRO_JOBS`` environment variable; ``-1`` uses all cores; sampled
+    output is bit-for-bit independent of the value)."""
 
     def nsg_ndg_samples(self) -> int:
         """Sample size for NSG/NDG: the largest batch HATP may generate."""

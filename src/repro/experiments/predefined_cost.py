@@ -84,6 +84,7 @@ def hatp_vs_nonadaptive_selector(
                 max_rounds=engine.max_rounds,
                 max_samples_per_round=engine.max_samples_per_round,
                 random_state=inner_rng,
+                n_jobs=engine.n_jobs,
             ),
         )
         hatp_outcome = evaluate_adaptive(hatp_spec, instance, realizations, rng)

@@ -1,8 +1,9 @@
-"""Plain-text and CSV reporting helpers for experiment outputs."""
+"""Plain-text, CSV and JSON reporting helpers for experiment outputs."""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
@@ -51,6 +52,20 @@ def write_rows_csv(rows: Sequence[Mapping[str, object]], path: Union[str, Path])
         writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
         writer.writeheader()
         writer.writerows(rows)
+
+
+def write_rows_json(rows: Sequence[Mapping[str, object]], path: Union[str, Path]) -> None:
+    """Write dict rows as a JSON array (creating parent directories).
+
+    The machine-readable twin of :func:`write_rows_csv`: benchmark series
+    written this way are diffable across PRs without CSV type-guessing.
+    """
+    rows = [dict(row) for row in rows]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
 
 
 def collect_figure_rows(

@@ -213,6 +213,7 @@ def build_standard_suite(
                 max_rounds=engine.max_rounds,
                 max_samples_per_round=engine.max_samples_per_round,
                 random_state=rng,
+                n_jobs=engine.n_jobs,
             ),
         ),
     ]
@@ -227,6 +228,7 @@ def build_standard_suite(
                     max_rounds=engine.addatp_max_rounds,
                     max_samples_per_round=engine.addatp_max_samples_per_round,
                     random_state=rng,
+                    n_jobs=engine.n_jobs,
                 ),
             )
         )
@@ -243,6 +245,7 @@ def build_standard_suite(
                 max_rounds=engine.max_rounds,
                 max_samples_per_round=engine.max_samples_per_round,
                 random_state=rng,
+                n_jobs=engine.n_jobs,
             ),
         )
     )
@@ -251,7 +254,10 @@ def build_standard_suite(
             name="NSG",
             kind="nonadaptive",
             factory=lambda inst, rng: NSG(
-                inst.target, num_samples=engine.nsg_ndg_samples(), random_state=rng
+                inst.target,
+                num_samples=engine.nsg_ndg_samples(),
+                random_state=rng,
+                n_jobs=engine.n_jobs,
             ),
         )
     )
@@ -260,7 +266,10 @@ def build_standard_suite(
             name="NDG",
             kind="nonadaptive",
             factory=lambda inst, rng: NDG(
-                inst.target, num_samples=engine.nsg_ndg_samples(), random_state=rng
+                inst.target,
+                num_samples=engine.nsg_ndg_samples(),
+                random_state=rng,
+                n_jobs=engine.n_jobs,
             ),
         )
     )

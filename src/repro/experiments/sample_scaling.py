@@ -57,14 +57,20 @@ def sample_size_scaling(
             name="NSG",
             kind="nonadaptive",
             factory=lambda inst, inner_rng, _s=samples: NSG(
-                inst.target, num_samples=_s, random_state=inner_rng
+                inst.target,
+                num_samples=_s,
+                random_state=inner_rng,
+                n_jobs=scale.engine.n_jobs,
             ),
         )
         ndg_spec = AlgorithmSpec(
             name="NDG",
             kind="nonadaptive",
             factory=lambda inst, inner_rng, _s=samples: NDG(
-                inst.target, num_samples=_s, random_state=inner_rng
+                inst.target,
+                num_samples=_s,
+                random_state=inner_rng,
+                n_jobs=scale.engine.n_jobs,
             ),
         )
         nsg_outcome = evaluate_nonadaptive(nsg_spec, instance, realizations, rng)

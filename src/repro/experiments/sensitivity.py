@@ -61,6 +61,7 @@ def epsilon_sensitivity(
                 max_rounds=engine.max_rounds,
                 max_samples_per_round=engine.max_samples_per_round,
                 random_state=inner_rng,
+                n_jobs=engine.n_jobs,
             ),
         )
         outcome = evaluate_adaptive(spec, instance, realizations, rng)

@@ -1,0 +1,58 @@
+"""Parallel sampling subsystem: shared-memory workers, deterministic shards.
+
+RR-set generation is embarrassingly parallel — independent roots,
+independent coin flips — so this package scales the vectorized engine of
+:mod:`repro.sampling.engine` across cores without changing its output:
+
+* :mod:`repro.parallel.broker` — publishes a graph's incoming CSR (and the
+  residual view's active mask) into ``multiprocessing.shared_memory`` once
+  per graph; workers attach zero-copy.
+* :mod:`repro.parallel.seeds` — the deterministic shard layout (a pure
+  function of the batch size) and per-shard RNG streams derived with
+  ``SeedSequence.spawn``; together they make the merged batch a pure
+  function of ``(random_state, count)``, independent of the worker count.
+* :mod:`repro.parallel.pool` — :class:`SamplingPool`, the persistent
+  worker pool, plus :func:`resolve_jobs` (the ``n_jobs`` / ``REPRO_JOBS``
+  knob) and :func:`parallel_generate_rr_batch` for one-shot batches.
+
+Every sampler in the library reaches this package through the ``n_jobs``
+parameter of :meth:`repro.sampling.flat_collection.FlatRRCollection.generate`
+(or by passing a ``pool``); ``docs/parallelism.md`` documents the design
+and the determinism contract.
+"""
+
+from repro.parallel.broker import (
+    SharedCSRGraph,
+    SharedGraphBroker,
+    SharedGraphSpec,
+    SharedResidualView,
+    attach_shared_graph,
+)
+from repro.parallel.pool import (
+    JOBS_ENV_VAR,
+    SamplingPool,
+    available_cpus,
+    parallel_generate_rr_batch,
+    resolve_jobs,
+)
+from repro.parallel.seeds import (
+    default_shard_size,
+    shard_layout,
+    spawn_shard_states,
+)
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "SamplingPool",
+    "SharedCSRGraph",
+    "SharedGraphBroker",
+    "SharedGraphSpec",
+    "SharedResidualView",
+    "attach_shared_graph",
+    "available_cpus",
+    "default_shard_size",
+    "parallel_generate_rr_batch",
+    "resolve_jobs",
+    "shard_layout",
+    "spawn_shard_states",
+]

@@ -1,0 +1,307 @@
+"""Shared-memory graph broker: publish a graph's CSR once, attach zero-copy.
+
+RR-set generation reads three immutable arrays — the incoming CSR
+``(offsets, sources, probabilities)`` of the base graph — plus one small
+mutable array, the residual view's boolean ``active`` mask.  Shipping those
+through pickle on every task would copy the whole graph per shard;
+:class:`SharedGraphBroker` instead publishes them into POSIX shared memory
+*once per graph*:
+
+* the parent creates one ``multiprocessing.shared_memory`` segment per
+  array and keeps writable views (the mask is rewritten in place before
+  each generation round; the CSR arrays are never touched again);
+* workers attach by segment name in their initializer and wrap the buffers
+  in NumPy arrays — no copy, no pickling, O(1) per worker regardless of
+  graph size;
+* :class:`SharedCSRGraph` / :class:`SharedResidualView` give the attached
+  buffers the exact interface slice of
+  :class:`~repro.graphs.graph.ProbabilisticGraph` /
+  :class:`~repro.graphs.residual.ResidualGraph` that the sampling engine
+  consumes (``in_csr``, ``active_mask``, ``num_active``, ...), so
+  :func:`repro.sampling.engine.generate_rr_batch` runs unmodified inside a
+  worker.
+
+Cleanup is belt-and-braces: ``close()`` is idempotent, and a
+``weakref.finalize`` hook unlinks the segments even if the owner is
+garbage-collected without an explicit close (error or interrupt paths).
+The parent is the single owner of the segments' lifetime: worker
+attachments re-register the names with the shared ``resource_tracker``
+(an idempotent no-op) but never unregister or unlink them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.utils.exceptions import ValidationError
+
+#: Keys of the arrays a broker publishes, in publication order.
+SHARED_ARRAY_KEYS = ("in_offsets", "in_sources", "in_probs", "active_mask")
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Addressing information for one published array (picklable)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Everything a worker needs to attach to a published graph (picklable)."""
+
+    n: int
+    m: int
+    arrays: Dict[str, SharedArraySpec]
+
+
+def _unlink_segments(segments: List[shared_memory.SharedMemory]) -> None:
+    """Close and unlink owned segments, tolerating repeated/partial teardown."""
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - defensive teardown
+            pass
+    segments.clear()
+
+
+class SharedGraphBroker:
+    """Owns the shared-memory publication of one graph's sampling arrays.
+
+    Parameters
+    ----------
+    base:
+        The immutable base graph whose incoming CSR is published.  The
+        active mask segment starts all-active; callers update it through
+        :meth:`set_mask` before dispatching work.
+    """
+
+    def __init__(self, base: ProbabilisticGraph) -> None:
+        self._base = base
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._views: Dict[str, np.ndarray] = {}
+        specs: Dict[str, SharedArraySpec] = {}
+        in_offsets, in_sources, in_probs = base.in_csr()
+        arrays = {
+            "in_offsets": in_offsets,
+            "in_sources": in_sources,
+            "in_probs": in_probs,
+            "active_mask": np.ones(base.n, dtype=bool),
+        }
+        try:
+            for key in SHARED_ARRAY_KEYS:
+                array = np.ascontiguousarray(arrays[key])
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(array.nbytes, 1)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self._views[key] = view
+                specs[key] = SharedArraySpec(
+                    name=segment.name, shape=array.shape, dtype=array.dtype.str
+                )
+        except BaseException:
+            _unlink_segments(self._segments)
+            raise
+        self._spec = SharedGraphSpec(n=base.n, m=base.m, arrays=specs)
+        # Unlinks survive lost references (error/interrupt paths) — the
+        # finalizer must not capture `self`, only the segment list.
+        self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+
+    @property
+    def base(self) -> ProbabilisticGraph:
+        """The graph whose arrays are published."""
+        return self._base
+
+    @property
+    def spec(self) -> SharedGraphSpec:
+        """Picklable attachment spec handed to worker initializers."""
+        return self._spec
+
+    @property
+    def closed(self) -> bool:
+        """Whether the segments have been released."""
+        return not self._segments
+
+    def set_mask(self, active_mask: np.ndarray) -> None:
+        """Overwrite the published active mask in place (parent side)."""
+        if self.closed:
+            raise ValidationError("broker is closed")
+        mask = np.asarray(active_mask, dtype=bool)
+        if mask.shape != (self._base.n,):
+            raise ValidationError(
+                f"active_mask must have shape ({self._base.n},), got {mask.shape}"
+            )
+        np.copyto(self._views["active_mask"], mask)
+
+    def close(self) -> None:
+        """Release all segments (idempotent; safe while workers are gone)."""
+        # Views alias the segment buffers; drop them before closing or the
+        # exported-pointer check in SharedMemory.close() fails.
+        self._views = {}
+        self._finalizer.detach()
+        _unlink_segments(self._segments)
+
+    def __enter__(self) -> "SharedGraphBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# worker-side attachment
+# --------------------------------------------------------------------- #
+
+
+class SharedCSRGraph:
+    """The base-graph interface slice the sampling engine needs.
+
+    Duck-types :class:`~repro.graphs.graph.ProbabilisticGraph` for RR-set
+    generation: ``n``, ``m``, ``in_csr()`` and ``in_neighbors()`` over
+    arrays that live in attached shared memory.
+    """
+
+    __slots__ = ("_n", "_m", "_in_offsets", "_in_sources", "_in_probs")
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_probs: np.ndarray,
+    ) -> None:
+        self._n = int(n)
+        self._m = int(m)
+        self._in_offsets = in_offsets
+        self._in_sources = in_sources
+        self._in_probs = in_probs
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return self._m
+
+    def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw incoming CSR ``(offsets, sources, probabilities)`` (shared; do not mutate)."""
+        return self._in_offsets, self._in_sources, self._in_probs
+
+    def in_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(sources, probabilities, csr_positions)`` of ``node``'s in-edges."""
+        start, end = self._in_offsets[node], self._in_offsets[node + 1]
+        return (
+            self._in_sources[start:end],
+            self._in_probs[start:end],
+            np.arange(start, end, dtype=np.int64),
+        )
+
+
+class SharedResidualView:
+    """The residual-view interface slice the sampling engine needs.
+
+    Mirrors :class:`~repro.graphs.residual.ResidualGraph` over a
+    :class:`SharedCSRGraph` plus the shared active mask.  Instantiated per
+    task so the lazily cached aggregates always reflect the mask contents
+    at dispatch time.
+    """
+
+    __slots__ = ("_base", "_active", "_num_active", "_active_nodes")
+
+    def __init__(self, base: SharedCSRGraph, active_mask: np.ndarray) -> None:
+        self._base = base
+        self._active = active_mask
+        self._num_active: Optional[int] = None
+        self._active_nodes: Optional[np.ndarray] = None
+
+    @property
+    def base(self) -> SharedCSRGraph:
+        """The shared base graph."""
+        return self._base
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Boolean activity mask (aliases shared memory; do not mutate)."""
+        return self._active
+
+    @property
+    def n(self) -> int:
+        """Number of nodes of the base graph."""
+        return self._base.n
+
+    @property
+    def num_active(self) -> int:
+        """Number of active nodes (cached per task)."""
+        if self._num_active is None:
+            self._num_active = int(np.count_nonzero(self._active))
+        return self._num_active
+
+    def active_nodes(self) -> np.ndarray:
+        """Ids of active nodes (cached per task)."""
+        if self._active_nodes is None:
+            self._active_nodes = np.nonzero(self._active)[0]
+        return self._active_nodes
+
+    def is_active(self, node: int) -> bool:
+        """Whether ``node`` is active."""
+        return bool(self._active[node])
+
+    def in_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Active in-neighbours of ``node`` as ``(sources, probs, positions)``."""
+        sources, probs, positions = self._base.in_neighbors(node)
+        keep = self._active[sources]
+        return sources[keep], probs[keep], positions[keep]
+
+
+def attach_shared_graph(
+    spec: SharedGraphSpec,
+) -> Tuple[SharedCSRGraph, np.ndarray, List[shared_memory.SharedMemory]]:
+    """Attach to a published graph; returns ``(graph, mask, handles)``.
+
+    The returned segment handles must be kept alive as long as the arrays
+    are used (the arrays alias their buffers).  Attaching re-registers the
+    names with the (shared) ``resource_tracker``; that is an idempotent
+    no-op, and the publishing broker's single unlink deregisters them, so
+    workers must not unregister themselves.
+    """
+    handles: List[shared_memory.SharedMemory] = []
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for key in SHARED_ARRAY_KEYS:
+            array_spec = spec.arrays[key]
+            segment = shared_memory.SharedMemory(name=array_spec.name)
+            handles.append(segment)
+            arrays[key] = np.ndarray(
+                array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=segment.buf
+            )
+    except BaseException:
+        for segment in handles:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        raise
+    graph = SharedCSRGraph(
+        spec.n, spec.m, arrays["in_offsets"], arrays["in_sources"], arrays["in_probs"]
+    )
+    return graph, arrays["active_mask"], handles

@@ -1,0 +1,312 @@
+"""Persistent worker pool running the vectorized RR engine on batch shards.
+
+:class:`SamplingPool` is the runtime of the parallel sampling subsystem.
+One pool serves one base graph:
+
+* on first parallel use it publishes the graph through a
+  :class:`~repro.parallel.broker.SharedGraphBroker` and starts a
+  ``ProcessPoolExecutor`` whose workers attach to the shared segments in
+  their initializer (zero-copy, once per worker);
+* :meth:`SamplingPool.generate` splits a batch into the deterministic
+  shard layout of :mod:`repro.parallel.seeds`, writes the residual view's
+  active mask into shared memory, dispatches one task per shard, and
+  merges the returned flat ``(offsets, nodes)`` arrays with
+  :func:`~repro.sampling.engine.merge_rr_batches` — RR sets are never
+  re-walked or re-encoded on the way back;
+* with ``n_jobs=1`` (or a single-shard batch) the pool runs the very same
+  sharded loop in-process — no processes, no shared memory — and produces
+  bit-for-bit the output of any other worker count, which is the
+  subsystem's determinism contract.
+
+``resolve_jobs`` is the single knob-resolution point: explicit ``n_jobs``
+arguments win, the ``REPRO_JOBS`` environment variable fills in when the
+caller passed ``None``, and ``-1`` means "all usable cores".
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import ProbabilisticGraph
+from repro.graphs.residual import ResidualGraph, as_residual
+from repro.parallel.broker import (
+    SharedGraphBroker,
+    SharedGraphSpec,
+    SharedResidualView,
+    attach_shared_graph,
+)
+from repro.parallel.seeds import shard_layout, shard_roots, spawn_shard_states
+from repro.sampling.engine import RRBatch, generate_rr_batch, merge_rr_batches
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import RandomState
+
+#: Environment variable consulted when a caller leaves ``n_jobs`` unset.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def available_cpus() -> int:
+    """Number of CPU cores usable by this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> Optional[int]:
+    """Resolve a worker-count request to a concrete value (or ``None``).
+
+    * an explicit integer wins: ``-1`` means all usable cores, values
+      ``>= 1`` are taken as-is, anything else is rejected;
+    * ``None`` falls back to the ``REPRO_JOBS`` environment variable with
+      the same semantics;
+    * ``None`` with no environment override resolves to ``None`` — the
+      caller keeps its historical single-process path untouched.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return None
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return available_cpus()
+    if n_jobs < 1:
+        raise ValidationError(f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}")
+    return n_jobs
+
+
+# --------------------------------------------------------------------- #
+# worker-process side
+# --------------------------------------------------------------------- #
+
+#: Per-worker attachment state, populated once by the pool initializer.
+_WORKER: dict = {}
+
+
+def _worker_init(spec: SharedGraphSpec) -> None:
+    """Executor initializer: attach to the published graph (zero-copy)."""
+    graph, mask, handles = attach_shared_graph(spec)
+    _WORKER["graph"] = graph
+    _WORKER["mask"] = mask
+    _WORKER["handles"] = handles  # keep segments alive for the worker's life
+
+
+def _worker_generate(count, random_state, backend, roots):
+    """Run one shard through the standard engine against shared arrays."""
+    view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
+    batch = generate_rr_batch(
+        view, count, random_state, backend=backend, roots=roots
+    )
+    return batch.offsets, batch.nodes, batch.num_active_nodes, batch.n
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+
+
+class SamplingPool:
+    """A persistent, shared-memory worker pool for one base graph.
+
+    Parameters
+    ----------
+    graph:
+        Base graph (or any residual view of it) the pool will sample on.
+    n_jobs:
+        Worker count request, resolved through :func:`resolve_jobs`
+        (``None`` honours ``REPRO_JOBS``, defaulting to 1; ``-1`` uses all
+        cores).  With one job the pool never starts processes or shared
+        memory — :meth:`generate` runs the sharded loop in-process.
+    shard_size:
+        Override the deterministic shard-size heuristic
+        (:func:`repro.parallel.seeds.default_shard_size`).  Changing it
+        changes the sampled output; leave unset for the documented
+        ``(seed, count)`` determinism key.
+    start_method:
+        Multiprocessing start method; defaults to ``"fork"`` where
+        available (cheap on Linux), else ``"spawn"``.
+    """
+
+    def __init__(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        n_jobs: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        self._base = view.base
+        self._jobs = resolve_jobs(n_jobs) or 1
+        self._shard_size = shard_size
+        self._start_method = start_method
+        self._broker: Optional[SharedGraphBroker] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base(self) -> ProbabilisticGraph:
+        """The base graph this pool samples on."""
+        return self._base
+
+    @property
+    def n_jobs(self) -> int:
+        """Resolved worker count."""
+        return self._jobs
+
+    @property
+    def running(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._executor is not None
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise ValidationError("SamplingPool is closed")
+        if self._executor is not None:
+            return
+        import multiprocessing
+
+        method = self._start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        self._broker = SharedGraphBroker(self._base)
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._jobs,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_worker_init,
+                initargs=(self._broker.spec,),
+            )
+        except BaseException:
+            self._broker.close()
+            self._broker = None
+            raise
+
+    def close(self) -> None:
+        """Stop workers and unlink shared memory (idempotent)."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._broker is not None:
+            self._broker.close()
+            self._broker = None
+
+    def __enter__(self) -> "SamplingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+
+    def generate(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        count: int,
+        random_state: RandomState = None,
+        backend: str = "vectorized",
+        roots: Optional[Sequence[int]] = None,
+    ) -> RRBatch:
+        """Generate ``count`` RR sets on ``graph`` across the pool's workers.
+
+        ``graph`` must be the pool's base graph or a residual view of it;
+        the view's active mask is republished to the workers before the
+        round is dispatched (rounds are synchronous, so the mask is never
+        rewritten while tasks are in flight).  Output is bit-for-bit
+        independent of ``n_jobs`` for a given ``(random_state, count)``.
+        """
+        if self._closed:
+            raise ValidationError("SamplingPool is closed")
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        if view.base is not self._base:
+            raise ValidationError(
+                "this SamplingPool was built for a different base graph"
+            )
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return generate_rr_batch(view, 0, random_state, backend=backend)
+
+        layout = shard_layout(count, self._shard_size)
+        states = spawn_shard_states(random_state, len(layout))
+        per_shard_roots = shard_roots(roots, layout)
+
+        if self._jobs == 1 or len(layout) == 1:
+            batches = [
+                generate_rr_batch(
+                    view, stop - start, state, backend=backend, roots=shard_root
+                )
+                for (start, stop), state, shard_root in zip(
+                    layout, states, per_shard_roots
+                )
+            ]
+            return merge_rr_batches(batches)
+
+        self._ensure_workers()
+        self._broker.set_mask(view.active_mask)
+        futures = [
+            self._executor.submit(
+                _worker_generate, stop - start, state, backend, shard_root
+            )
+            for (start, stop), state, shard_root in zip(layout, states, per_shard_roots)
+        ]
+        batches: List[RRBatch] = []
+        try:
+            for future in futures:
+                offsets, nodes, num_active, n = future.result()
+                batches.append(
+                    RRBatch(
+                        offsets=offsets,
+                        nodes=nodes,
+                        num_active_nodes=num_active,
+                        n=n,
+                    )
+                )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return merge_rr_batches(batches)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.running else ("closed" if self._closed else "idle")
+        return f"<SamplingPool jobs={self._jobs} {state} on {self._base!r}>"
+
+
+def parallel_generate_rr_batch(
+    graph: ProbabilisticGraph | ResidualGraph,
+    count: int,
+    random_state: RandomState = None,
+    backend: str = "vectorized",
+    n_jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    roots: Optional[Sequence[int]] = None,
+) -> RRBatch:
+    """One-shot sharded generation (ephemeral pool when ``n_jobs > 1``).
+
+    Convenience wrapper over :class:`SamplingPool` for callers that sample
+    a single large batch (NSG/NDG, the IMM target builder).  Repeated
+    samplers (the adaptive algorithms) should hold a pool open instead of
+    paying worker start-up per call.
+    """
+    jobs = resolve_jobs(n_jobs) or 1
+    with SamplingPool(graph, n_jobs=jobs, shard_size=shard_size) as pool:
+        return pool.generate(
+            graph, count, random_state, backend=backend, roots=roots
+        )

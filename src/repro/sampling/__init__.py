@@ -37,6 +37,16 @@ Generation entry points (``generate_rr_batch``, ``generate_rr_sets``,
   which consumes the RNG stream per set and therefore matches the engine
   statistically but not bit-for-bit.
 
+Parallelism
+-----------
+:mod:`repro.parallel` scales the engine across cores: a shared-memory
+broker publishes the graph's CSR once, a persistent
+:class:`~repro.parallel.pool.SamplingPool` runs the engine on batch
+shards, and deterministic per-shard seed streams make the merged batch
+bit-for-bit independent of the worker count.  Every generation entry
+point accepts ``n_jobs`` (or the ``REPRO_JOBS`` environment variable);
+see ``docs/parallelism.md``.
+
 See ``docs/performance.md`` for measured speedups and benchmark
 regeneration instructions (``benchmarks/test_bench_rr_engine.py``).
 """
@@ -52,7 +62,7 @@ from repro.sampling.bounds import (
     hybrid_sample_size,
     hybrid_upper_tail,
 )
-from repro.sampling.engine import RRBatch, generate_rr_batch
+from repro.sampling.engine import RRBatch, generate_rr_batch, merge_rr_batches
 from repro.sampling.estimators import (
     RISProfitEstimator,
     RISSpreadEstimator,
@@ -87,5 +97,6 @@ __all__ = [
     "hybrid_lower_tail",
     "hybrid_sample_size",
     "hybrid_upper_tail",
+    "merge_rr_batches",
     "rr_set_sizes",
 ]

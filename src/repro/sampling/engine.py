@@ -93,6 +93,21 @@ class RRBatch:
             set(node_list[offsets[i] : offsets[i + 1]]) for i in range(len(self))
         ]
 
+    def slice(self, start: int, stop: int) -> "RRBatch":
+        """Sub-batch holding RR sets ``start:stop`` (offsets rebased to 0)."""
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= len(self):
+            raise ValidationError(
+                f"slice [{start}, {stop}) out of range for {len(self)} sets"
+            )
+        lo, hi = self.offsets[start], self.offsets[stop]
+        return RRBatch(
+            offsets=self.offsets[start : stop + 1] - lo,
+            nodes=self.nodes[lo:hi],
+            num_active_nodes=self.num_active_nodes,
+            n=self.n,
+        )
+
 
 def flat_slice_indices(starts: np.ndarray, degrees: np.ndarray) -> np.ndarray:
     """Flat indices addressing many CSR slices at once.
@@ -104,6 +119,43 @@ def flat_slice_indices(starts: np.ndarray, degrees: np.ndarray) -> np.ndarray:
     total = int(degrees.sum())
     cum = np.cumsum(degrees) - degrees
     return np.arange(total, dtype=np.int64) + np.repeat(starts - cum, degrees)
+
+
+def merge_rr_batches(batches: Sequence[RRBatch]) -> RRBatch:
+    """Concatenate flat batches into one without re-walking any RR set.
+
+    This is the merge step of the parallel sampling subsystem
+    (:mod:`repro.parallel`): worker shards come back as independent
+    ``(offsets, nodes)`` pairs and are stitched together by shifting each
+    shard's offsets by the running total — pure array arithmetic, no
+    per-set Python objects.  All batches must share ``num_active_nodes``
+    (they were sampled on the same residual view); ``n`` is the maximum
+    node-id universe.
+    """
+    if not batches:
+        raise ValidationError("merge_rr_batches requires at least one batch")
+    if len(batches) == 1:
+        return batches[0]
+    first = batches[0]
+    for batch in batches[1:]:
+        if batch.num_active_nodes != first.num_active_nodes:
+            raise ValidationError(
+                "cannot merge batches sampled on different residual views "
+                f"(num_active_nodes {batch.num_active_nodes} != {first.num_active_nodes})"
+            )
+    offsets_parts = [first.offsets]
+    nodes_parts = [first.nodes]
+    shift = int(first.offsets[-1])
+    for batch in batches[1:]:
+        offsets_parts.append(batch.offsets[1:] + shift)
+        nodes_parts.append(batch.nodes)
+        shift += int(batch.offsets[-1])
+    return RRBatch(
+        offsets=np.concatenate(offsets_parts),
+        nodes=np.concatenate(nodes_parts),
+        num_active_nodes=first.num_active_nodes,
+        n=max(batch.n for batch in batches),
+    )
 
 
 def _empty_batch(count: int, num_active_nodes: int, n: int) -> RRBatch:

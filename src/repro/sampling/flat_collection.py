@@ -70,9 +70,31 @@ class FlatRRCollection:
         count: int,
         random_state: RandomState = None,
         backend: str = "vectorized",
+        n_jobs: Optional[int] = None,
+        pool: Optional["SamplingPool"] = None,
     ) -> "FlatRRCollection":
-        """Generate ``count`` RR sets on ``graph`` with the batched engine."""
+        """Generate ``count`` RR sets on ``graph`` with the batched engine.
+
+        ``pool`` routes generation through a persistent
+        :class:`~repro.parallel.pool.SamplingPool`; ``n_jobs`` (or the
+        ``REPRO_JOBS`` environment variable when ``n_jobs`` is ``None``)
+        runs a one-shot sharded generation instead.  Both paths produce
+        output that is bit-for-bit independent of the worker count; when
+        neither is requested the historical single-batch engine runs
+        unchanged.
+        """
+        from repro.parallel.pool import parallel_generate_rr_batch, resolve_jobs
+
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        if pool is not None:
+            return cls(pool.generate(view, count, random_state, backend=backend))
+        jobs = resolve_jobs(n_jobs)
+        if jobs is not None:
+            return cls(
+                parallel_generate_rr_batch(
+                    view, count, random_state, backend=backend, n_jobs=jobs
+                )
+            )
         return cls(generate_rr_batch(view, count, random_state, backend=backend))
 
     @classmethod

@@ -1,0 +1,130 @@
+"""Property-style tests: sharded batches merge back to the whole.
+
+The parallel subsystem returns per-shard ``RRBatch`` pieces and stitches
+them with :func:`repro.sampling.engine.merge_rr_batches` (or feeds them to
+:meth:`FlatRRCollection.extend`).  For *any* split of a batch into
+contiguous shards, merging the pieces must reproduce the original batch
+exactly, and a collection extended shard-by-shard must answer every query
+identically to a collection built in one shot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.residual import ResidualGraph
+from repro.graphs.weighting import weighted_cascade
+from repro.sampling.engine import generate_rr_batch, merge_rr_batches
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def batch():
+    """A 300-set batch on a ~350-node graph with a residual mask."""
+    graph = weighted_cascade(generators.barabasi_albert(350, 3, random_state=8))
+    view = ResidualGraph(graph).without(range(40))
+    return generate_rr_batch(view, 300, 12)
+
+
+def random_split_points(rng, count, num_cuts):
+    cuts = np.sort(rng.choice(np.arange(1, count), size=num_cuts, replace=False))
+    return [0, *cuts.tolist(), count]
+
+
+class TestMergeRoundTrip:
+    @pytest.mark.parametrize("trial", range(6))
+    def test_random_shard_splits_merge_to_original(self, batch, trial):
+        rng = np.random.default_rng(trial)
+        bounds = random_split_points(rng, len(batch), int(rng.integers(1, 12)))
+        shards = [
+            batch.slice(start, stop) for start, stop in zip(bounds, bounds[1:])
+        ]
+        merged = merge_rr_batches(shards)
+        assert np.array_equal(merged.offsets, batch.offsets)
+        assert np.array_equal(merged.nodes, batch.nodes)
+        assert merged.num_active_nodes == batch.num_active_nodes
+        assert merged.n == batch.n
+
+    def test_slice_contents(self, batch):
+        piece = batch.slice(10, 20)
+        assert len(piece) == 10
+        for i in range(10):
+            assert np.array_equal(piece.set_at(i), batch.set_at(10 + i))
+        assert int(piece.offsets[0]) == 0
+
+    def test_slice_bounds_validated(self, batch):
+        with pytest.raises(ValidationError):
+            batch.slice(-1, 5)
+        with pytest.raises(ValidationError):
+            batch.slice(5, len(batch) + 1)
+        with pytest.raises(ValidationError):
+            batch.slice(9, 3)
+
+    def test_merge_rejects_mixed_views(self, batch):
+        from repro.sampling.engine import RRBatch
+
+        other = RRBatch(
+            offsets=batch.offsets.copy(),
+            nodes=batch.nodes.copy(),
+            num_active_nodes=batch.num_active_nodes + 1,
+            n=batch.n,
+        )
+        with pytest.raises(ValidationError):
+            merge_rr_batches([batch, other])
+
+    def test_merge_requires_batches(self):
+        with pytest.raises(ValidationError):
+            merge_rr_batches([])
+
+
+class TestShardedCollectionEquivalence:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_extend_with_shards_matches_single_batch(self, batch, trial):
+        rng = np.random.default_rng(100 + trial)
+        bounds = random_split_points(rng, len(batch), int(rng.integers(1, 8)))
+        shards = [
+            batch.slice(start, stop) for start, stop in zip(bounds, bounds[1:])
+        ]
+
+        whole = FlatRRCollection(batch)
+        sharded = FlatRRCollection(shards[0])
+        for shard in shards[1:]:
+            sharded.extend(shard)
+
+        assert sharded.num_sets == whole.num_sets
+        assert sharded.total_size() == whole.total_size()
+        assert np.array_equal(sharded.sizes(), whole.sizes())
+        assert np.array_equal(sharded.nodes_appearing(), whole.nodes_appearing())
+
+        probe_nodes = rng.integers(0, batch.n, size=12).tolist()
+        assert sharded.coverage(probe_nodes) == whole.coverage(probe_nodes)
+        assert np.array_equal(
+            sharded.covered_mask(probe_nodes), whole.covered_mask(probe_nodes)
+        )
+        for probe in probe_nodes[:4]:
+            assert np.array_equal(
+                sharded.sets_containing(probe), whole.sets_containing(probe)
+            )
+            assert sharded.marginal_coverage(
+                probe, probe_nodes[4:]
+            ) == whole.marginal_coverage(probe, probe_nodes[4:])
+        assert sharded.estimate_spread(probe_nodes) == pytest.approx(
+            whole.estimate_spread(probe_nodes)
+        )
+
+    def test_interleaved_queries_and_extends(self, batch):
+        # Queries between extends force intermediate consolidations; the
+        # final state must still match the one-shot collection.
+        whole = FlatRRCollection(batch)
+        sharded = FlatRRCollection(batch.slice(0, 100))
+        sharded.coverage([1, 2, 3])
+        sharded.extend(batch.slice(100, 250))
+        sharded.marginal_coverage(50, [1, 2])
+        sharded.extend(batch.slice(250, 300))
+        assert sharded.num_sets == whole.num_sets
+        assert np.array_equal(sharded.sizes(), whole.sizes())
+        probe = [int(batch.nodes[0]), 41, 77]
+        assert sharded.coverage(probe) == whole.coverage(probe)
