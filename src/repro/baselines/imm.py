@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graphs.graph import ProbabilisticGraph
+from repro.sampling.coverage import CoverageCounter
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.sampling.rr_collection import RRCollection
 from repro.utils.rng import RandomState
@@ -34,43 +35,48 @@ def greedy_max_coverage(
     """Greedily pick ``k`` nodes maximizing RR-set coverage.
 
     Returns the chosen nodes (in pick order) and the estimated spread of the
-    chosen set.  When ``candidates`` is given the choice is restricted to it.
-    Accepts both the flat and the dict-indexed collection; the per-node gain
-    is a vectorized mask count either way.
+    chosen set.  When ``candidates`` is given the choice is restricted to it
+    (in the given order, which also breaks ties).
+
+    Selection is counter-based: a :class:`CoverageCounter` keeps every
+    node's marginal coverage live, each pick is one whole-array ``argmax``,
+    and the chosen node's covered sets are subtracted from all counters at
+    once — no per-candidate rescan.  Dict-indexed collections are flattened
+    once up front (one O(total RR size) pass, the cost a single rescan used
+    to pay per pick).
     """
     require_positive(k, "k")
-    covered = np.zeros(collection.num_sets, dtype=bool)
-    pool = None if candidates is None else [int(v) for v in candidates]
+    if isinstance(collection, FlatRRCollection):
+        flat = collection
+    else:
+        flat = FlatRRCollection.from_rr_sets(
+            collection.rr_sets, collection.num_active_nodes
+        )
+    counter = CoverageCounter(flat)
+    if candidates is None:
+        space = flat.nodes_appearing()
+    else:
+        space = np.asarray([int(v) for v in candidates], dtype=np.int64)
+    valid = (space >= 0) & (space < flat.n)
+    picked = np.zeros(space.shape[0], dtype=bool)
     chosen: List[int] = []
     for _ in range(k):
-        best_node, best_gain = None, -1
-        best_ids: np.ndarray = np.zeros(0, dtype=np.int64)
-        search_space = pool if pool is not None else _nodes_appearing(collection)
-        for node in search_space:
-            if node in chosen:
-                continue
-            ids = np.asarray(collection.sets_containing(node), dtype=np.int64)
-            new_ids = ids[~covered[ids]] if ids.size else ids
-            if new_ids.size > best_gain:
-                best_node, best_gain, best_ids = node, int(new_ids.size), new_ids
-        if best_node is None:
+        if space.size == 0:
             break
+        gains = np.zeros(space.shape[0], dtype=np.int64)
+        gains[valid] = counter.marginal_counts[space[valid]]
+        gains[picked] = -1
+        best_position = int(np.argmax(gains))
+        if gains[best_position] < 0:
+            break
+        best_node = int(space[best_position])
         chosen.append(best_node)
-        covered[best_ids] = True
+        picked |= space == best_node
+        counter.add([best_node])
     estimated_spread = (
-        covered.sum() * collection.num_active_nodes / max(collection.num_sets, 1)
+        counter.coverage() * flat.num_active_nodes / max(flat.num_sets, 1)
     )
     return chosen, float(estimated_spread)
-
-
-def _nodes_appearing(collection: Collection) -> List[int]:
-    """Every node that appears in at least one RR set (candidates for coverage)."""
-    if isinstance(collection, FlatRRCollection):
-        return collection.nodes_appearing().tolist()
-    nodes = set()
-    for rr in collection.rr_sets:
-        nodes.update(rr)
-    return sorted(nodes)
 
 
 def top_k_influential(

@@ -14,6 +14,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
 from repro.parallel.pool import resolve_jobs
+from repro.sampling.coverage import CoverageCounter
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -83,14 +84,17 @@ class NDG:
         kept: Set[int] = set(self._target)
         iterations: List[IterationRecord] = []
 
+        # Stateful coverage instead of per-query covered-mask rebuilds: the
+        # front counter tracks the growing ``selected`` set, the rear
+        # counter the shrinking ``kept`` set (marginal_count excludes the
+        # queried node itself, matching ``marginal_coverage``'s rule).
+        front_counter = CoverageCounter(collection, selected)
+        rear_counter = CoverageCounter(collection, kept)
+
         for node in self._target:
             cost_u = cost_map.get(node, 0.0)
-            add_gain = (
-                collection.marginal_coverage(node, selected) * scale - cost_u
-            )
-            remove_gain = (
-                cost_u - collection.marginal_coverage(node, kept - {node}) * scale
-            )
+            add_gain = front_counter.marginal_count(node) * scale - cost_u
+            remove_gain = cost_u - rear_counter.marginal_count(node) * scale
             if self._randomized:
                 positive_add = max(add_gain, 0.0)
                 positive_remove = max(remove_gain, 0.0)
@@ -103,9 +107,11 @@ class NDG:
             if keep:
                 selected.add(node)
                 selected_order.append(node)
+                front_counter.add([node])
                 action = "selected"
             else:
                 kept.discard(node)
+                rear_counter.remove([node])
                 action = "rejected"
             iterations.append(
                 IterationRecord(

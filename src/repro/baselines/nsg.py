@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
 from repro.parallel.pool import resolve_jobs
+from repro.sampling.coverage import CoverageCounter
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -80,28 +81,35 @@ class NSG:
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}
 
-        covered = np.zeros(collection.num_sets, dtype=bool)
-        remaining = list(self._target)
+        # Counter-based greedy: per-candidate marginal coverage is read off
+        # the live counters, each pick is one argmax over the target slots,
+        # and the chosen node's covered sets are subtracted once.
+        counter = CoverageCounter(collection)
+        target_array = np.asarray(self._target, dtype=np.int64)
+        target_costs = np.asarray(
+            [cost_map.get(int(node), 0.0) for node in self._target], dtype=np.float64
+        )
+        valid = (target_array >= 0) & (target_array < collection.n)
+        available = np.ones(target_array.shape[0], dtype=bool)
         selected: List[int] = []
         iterations: List[IterationRecord] = []
         estimated_spread = 0.0
 
-        while remaining:
-            best_node = None
-            best_gain = 0.0
-            best_new_coverage: List[int] = []
-            for node in remaining:
-                ids = collection.sets_containing(node)
-                new_coverage = ids[~covered[ids]]
-                gain = new_coverage.size * scale - cost_map.get(node, 0.0)
-                if gain > best_gain:
-                    best_node, best_gain, best_new_coverage = node, gain, new_coverage
-            if best_node is None:
+        while available.any():
+            marginal_counts = counter.marginal_counts
+            coverage_gains = np.zeros(target_array.shape[0], dtype=np.int64)
+            coverage_gains[valid] = marginal_counts[target_array[valid]]
+            gains = coverage_gains * scale - target_costs
+            gains[~available] = -np.inf
+            best_position = int(np.argmax(gains))
+            best_gain = float(gains[best_position])
+            if best_gain <= 0.0:
                 break
-            covered[best_new_coverage] = True
-            estimated_spread += len(best_new_coverage) * scale
+            best_node = int(target_array[best_position])
+            counter.add([best_node])
+            estimated_spread += int(coverage_gains[best_position]) * scale
             selected.append(best_node)
-            remaining.remove(best_node)
+            available[best_position] = False
             iterations.append(
                 IterationRecord(
                     node=best_node,

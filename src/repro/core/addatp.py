@@ -34,10 +34,10 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import AdditiveErrorSchedule, DynamicThresholdState
+from repro.core.estimation import FrontRearEstimator
 from repro.core.results import IterationRecord, SeedingResult
 from repro.core.session import AdaptiveSession
 from repro.parallel.pool import SamplingPool, resolve_jobs
-from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -75,6 +75,12 @@ class ADDATP:
         Worker processes for RR-set generation (``None`` honours the
         ``REPRO_JOBS`` environment variable and otherwise keeps the
         historical in-process path; ``-1`` uses all cores).
+    sample_reuse:
+        Carry RR collections across refinement rounds, extending them by
+        only the newly required sets instead of regenerating (the residual
+        graph is frozen within a node-iteration, so all rounds sample the
+        same distribution).  ``False`` (default) keeps the exact historical
+        regenerate-per-round RNG stream.
     """
 
     name = "ADDATP"
@@ -91,6 +97,7 @@ class ADDATP:
         on_budget: str = "decide",
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
+        sample_reuse: bool = False,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -109,6 +116,7 @@ class ADDATP:
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
+        self._sample_reuse = bool(sample_reuse)
 
     @property
     def target(self) -> List[int]:
@@ -172,27 +180,25 @@ class ADDATP:
             rounds = 0
             rr_this_iteration = 0
             stopped_by_c2 = False
+            estimator = FrontRearEstimator(
+                residual,
+                node,
+                selected,
+                candidates - {node},
+                self._rng,
+                pool=pool,
+                sample_reuse=self._sample_reuse,
+            )
             while True:
                 rounds += 1
                 requested = schedule.sample_size(state)
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(
-                    residual, theta, self._rng, pool=pool
-                )
-                collection_rear = FlatRRCollection.generate(
-                    residual, theta, self._rng, pool=pool
-                )
-                rr_this_iteration += 2 * theta
-
-                front_estimate = (
-                    collection_front.estimate_marginal_spread(node, selected) - cost_u
-                )
-                rear_estimate = (
-                    -collection_rear.estimate_marginal_spread(node, candidates - {node})
-                    + cost_u
-                )
+                front_spread, rear_spread, generated = estimator.estimates(theta)
+                rr_this_iteration += generated
+                front_estimate = front_spread - cost_u
+                rear_estimate = -rear_spread + cost_u
 
                 scaled_error = state.scaled_error(num_active)
                 condition_one = (
@@ -260,6 +266,7 @@ class ADDATP:
                 "budget_hits": budget_hits,
                 "dynamic_threshold": self._dynamic_threshold,
                 "initial_scaled_error": self._initial_scaled_error,
+                "sample_reuse": self._sample_reuse,
             },
         )
 

@@ -1,0 +1,136 @@
+"""Per-node-iteration front/rear marginal-spread estimation.
+
+HATP, HNTP and ADDATP all run the same inner machinery per examined node:
+each refinement round draws two independent RR collections of the
+schedule's current size ``θ_i`` and estimates the *front* marginal spread
+``Ê[I(u | S_{i−1})]`` and the *rear* marginal spread
+``Ê[I(u | T_{i−1} \\ {u})]``.  :class:`FrontRearEstimator` owns that state
+machine so the three algorithms share one implementation of the two
+sampling policies:
+
+* **regenerate** (``sample_reuse=False``, the historical default): both
+  collections are drawn from scratch every round — the exact historical
+  RNG stream and floating-point arithmetic;
+* **reuse** (``sample_reuse=True``): the collections persist across the
+  iteration's rounds and are extended by only the ``θ_i − θ_{i−1}`` new
+  sets (through the supplied pool when given); estimates come from
+  incremental :class:`~repro.sampling.coverage.CoverageCounter` state
+  instead of re-scanning the grown collections.
+
+The estimator is valid for one node-iteration only: the conditioning sets
+and the residual view are fixed at construction, which is exactly the
+window in which the sampling distribution is frozen (seeds are committed
+only after the iteration decides).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.graphs.residual import ResidualGraph
+from repro.parallel.pool import SamplingPool
+from repro.sampling.coverage import CoverageCounter
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.utils.rng import RandomState
+
+
+class FrontRearEstimator:
+    """Front/rear spread estimates for one node across refinement rounds.
+
+    Parameters
+    ----------
+    view:
+        Residual view to sample on (frozen for the iteration).
+    node:
+        The node ``u`` being examined.
+    front_conditioning / rear_conditioning:
+        ``S_{i−1}`` and ``T_{i−1} \\ {u}`` — fixed for the iteration.
+    random_state:
+        The algorithm's RNG (consumed identically to the historical loop
+        on the regenerate path).
+    pool:
+        Optional persistent :class:`SamplingPool` for generation.
+    sample_reuse:
+        Select the reuse policy described in the module docstring.
+    """
+
+    __slots__ = (
+        "_view",
+        "_node",
+        "_front_conditioning",
+        "_rear_conditioning",
+        "_rng",
+        "_pool",
+        "_reuse",
+        "_front",
+        "_rear",
+        "_front_counter",
+        "_rear_counter",
+    )
+
+    def __init__(
+        self,
+        view: ResidualGraph,
+        node: int,
+        front_conditioning: Iterable[int],
+        rear_conditioning: Iterable[int],
+        random_state: RandomState,
+        pool: Optional[SamplingPool] = None,
+        sample_reuse: bool = False,
+    ) -> None:
+        self._view = view
+        self._node = int(node)
+        self._front_conditioning = front_conditioning
+        self._rear_conditioning = rear_conditioning
+        self._rng = random_state
+        self._pool = pool
+        self._reuse = bool(sample_reuse)
+        self._front: Optional[FlatRRCollection] = None
+        self._rear: Optional[FlatRRCollection] = None
+        self._front_counter: Optional[CoverageCounter] = None
+        self._rear_counter: Optional[CoverageCounter] = None
+
+    def estimates(self, theta: int) -> Tuple[float, float, int]:
+        """Run one round at sample size ``theta``.
+
+        Returns ``(front_spread, rear_spread, rr_sets_generated)`` where
+        the last entry counts only the RR sets *newly drawn* this round
+        (``2·θ`` when regenerating, ``2·(θ − θ_prev)`` when reusing).
+        """
+        generated = 0
+        if self._reuse and self._front is not None:
+            extra = theta - self._front.num_sets
+            if extra > 0:
+                self._front.extend_generate(
+                    self._view, extra, self._rng, pool=self._pool
+                )
+                self._rear.extend_generate(
+                    self._view, extra, self._rng, pool=self._pool
+                )
+                generated = 2 * extra
+        else:
+            self._front = FlatRRCollection.generate(
+                self._view, theta, self._rng, pool=self._pool
+            )
+            self._rear = FlatRRCollection.generate(
+                self._view, theta, self._rng, pool=self._pool
+            )
+            generated = 2 * theta
+            if self._reuse:
+                self._front_counter = CoverageCounter(
+                    self._front, self._front_conditioning
+                )
+                self._rear_counter = CoverageCounter(
+                    self._rear, self._rear_conditioning
+                )
+        if self._reuse:
+            front_spread = self._front_counter.estimate_marginal_spread(self._node)
+            rear_spread = self._rear_counter.estimate_marginal_spread(self._node)
+        else:
+            front_spread = self._front.estimate_marginal_spread(
+                self._node, self._front_conditioning
+            )
+            rear_spread = self._rear.estimate_marginal_spread(
+                self._node, self._rear_conditioning
+            )
+        return front_spread, rear_spread, generated

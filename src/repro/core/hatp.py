@@ -23,6 +23,15 @@ Between rounds the schedule tightens whichever error component is binding
 (see :class:`repro.core.errors.HybridErrorSchedule`), which is what makes
 HATP roughly ``O(ε n)`` cheaper than ADDATP (Theorem 5 vs Theorem 3).
 
+With ``sample_reuse=True`` the two collections of a node-iteration are kept
+alive across refinement rounds and only the ``θ_i − θ_{i−1}`` *new* RR sets
+are generated per round (IMM-style sample carrying — the residual graph is
+frozen within a node-iteration, so all rounds sample the same
+distribution); marginal estimates then come from incremental
+:class:`~repro.sampling.coverage.CoverageCounter` state instead of
+re-scanning the whole collection.  The default ``False`` path regenerates
+from scratch each round and consumes the exact historical RNG stream.
+
 The decision rule ``f_est + r_est ≥ 2 c(u_i)`` is algebraically the same
 test as ADG's ``ρ_f ≥ ρ_r`` written in terms of the raw spread estimates.
 """
@@ -32,10 +41,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.errors import HybridErrorSchedule
+from repro.core.estimation import FrontRearEstimator
 from repro.core.results import IterationRecord, SeedingResult
 from repro.core.session import AdaptiveSession
 from repro.parallel.pool import SamplingPool, resolve_jobs
-from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -69,6 +78,11 @@ class HATP:
         persistent :class:`~repro.parallel.pool.SamplingPool` is held open
         for the whole run and the sampled batches are bit-for-bit
         independent of the worker count.
+    sample_reuse:
+        Carry RR collections across refinement rounds, extending them by
+        only the newly required sets (roughly halves the RR sets generated
+        per iteration at a geometric schedule).  ``False`` (default)
+        regenerates per round on the exact historical RNG stream.
     """
 
     name = "HATP"
@@ -85,6 +99,7 @@ class HATP:
         on_budget: str = "decide",
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
+        sample_reuse: bool = False,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -106,6 +121,7 @@ class HATP:
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
+        self._sample_reuse = bool(sample_reuse)
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -198,24 +214,23 @@ class HATP:
             front_spread = rear_spread = 0.0
             rounds = 0
             rr_this_iteration = 0
+            estimator = FrontRearEstimator(
+                residual,
+                node,
+                selected,
+                candidates - {node},
+                self._rng,
+                pool=pool,
+                sample_reuse=self._sample_reuse,
+            )
             while True:
                 rounds += 1
                 requested = schedule.sample_size(state)
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(
-                    residual, theta, self._rng, pool=pool
-                )
-                collection_rear = FlatRRCollection.generate(
-                    residual, theta, self._rng, pool=pool
-                )
-                rr_this_iteration += 2 * theta
-
-                front_spread = collection_front.estimate_marginal_spread(node, selected)
-                rear_spread = collection_rear.estimate_marginal_spread(
-                    node, candidates - {node}
-                )
+                front_spread, rear_spread, generated = estimator.estimates(theta)
+                rr_this_iteration += generated
 
                 scaled_error = state.scaled_error(num_active)
                 condition_one = self._condition_one(
@@ -274,5 +289,6 @@ class HATP:
                 "epsilon0": self._epsilon0,
                 "budget_hits": budget_hits,
                 "initial_scaled_error": self._initial_scaled_error,
+                "sample_reuse": self._sample_reuse,
             },
         )

@@ -17,12 +17,12 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.errors import HybridErrorSchedule
+from repro.core.estimation import FrontRearEstimator
 from repro.core.hatp import HATP
 from repro.core.results import IterationRecord, NonadaptiveSelection
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import as_residual
 from repro.parallel.pool import SamplingPool, resolve_jobs
-from repro.sampling.flat_collection import FlatRRCollection
 from repro.utils.exceptions import SamplingBudgetExceeded
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -49,6 +49,7 @@ class HNTP:
         on_budget: str = "decide",
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
+        sample_reuse: bool = False,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -70,6 +71,7 @@ class HNTP:
         self._on_budget = on_budget
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
+        self._sample_reuse = bool(sample_reuse)
 
     @property
     def target(self) -> List[int]:
@@ -124,24 +126,23 @@ class HNTP:
             front_spread = rear_spread = 0.0
             rounds = 0
             rr_this_iteration = 0
+            estimator = FrontRearEstimator(
+                view,
+                node,
+                selected,
+                candidates - {node},
+                self._rng,
+                pool=pool,
+                sample_reuse=self._sample_reuse,
+            )
             while True:
                 rounds += 1
                 requested = schedule.sample_size(state)
                 theta = min(requested, self._max_samples_per_round)
                 sample_budget_hit = requested > self._max_samples_per_round
 
-                collection_front = FlatRRCollection.generate(
-                    view, theta, self._rng, pool=pool
-                )
-                collection_rear = FlatRRCollection.generate(
-                    view, theta, self._rng, pool=pool
-                )
-                rr_this_iteration += 2 * theta
-
-                front_spread = collection_front.estimate_marginal_spread(node, selected)
-                rear_spread = collection_rear.estimate_marginal_spread(
-                    node, candidates - {node}
-                )
+                front_spread, rear_spread, generated = estimator.estimates(theta)
+                rr_this_iteration += generated
 
                 scaled_error = state.scaled_error(n)
                 condition_one = HATP._condition_one(
@@ -189,5 +190,9 @@ class HNTP:
             rr_sets_generated=total_rr_sets,
             runtime_seconds=timer.elapsed,
             iterations=iterations,
-            extra={"epsilon": self._epsilon, "budget_hits": budget_hits},
+            extra={
+                "epsilon": self._epsilon,
+                "budget_hits": budget_hits,
+                "sample_reuse": self._sample_reuse,
+            },
         )

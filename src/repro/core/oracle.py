@@ -133,6 +133,14 @@ class RISSpreadOracle:
     paying worker start-up per query; call :meth:`close` (or use the
     oracle as a context manager) to release the pool's workers and shared
     memory eagerly.
+
+    ``sample_reuse=True`` additionally caches the RR collection per
+    residual *state* (base graph + activity mask): the double-greedy ADG
+    loop asks several front/rear queries between seed commits, and with
+    reuse all of them are answered from one batch instead of sampling a
+    fresh one each time.  The estimator stays unbiased per query, but
+    queries on the same residual state become correlated — acceptable for
+    the oracle-model experiments, so it is opt-in.
     """
 
     def __init__(
@@ -140,6 +148,7 @@ class RISSpreadOracle:
         num_samples: int = 2000,
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
+        sample_reuse: bool = False,
     ) -> None:
         from repro.parallel.pool import resolve_jobs
 
@@ -147,6 +156,12 @@ class RISSpreadOracle:
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
         self._pool = None
+        self._sample_reuse = bool(sample_reuse)
+        # The cached collection is keyed on the base graph *object* (a held
+        # reference, never a recyclable id()) plus the activity-mask bytes.
+        self._cached_base: Optional[ProbabilisticGraph] = None
+        self._cached_mask: Optional[bytes] = None
+        self._cached_collection: Optional[FlatRRCollection] = None
 
     @property
     def num_samples(self) -> int:
@@ -154,6 +169,18 @@ class RISSpreadOracle:
         return self._num_samples
 
     def _collection(self, view: ResidualGraph) -> FlatRRCollection:
+        if self._sample_reuse:
+            mask_bytes = view.active_mask.tobytes()
+            if self._cached_base is view.base and self._cached_mask == mask_bytes:
+                return self._cached_collection
+        collection = self._generate(view)
+        if self._sample_reuse:
+            self._cached_base = view.base
+            self._cached_mask = mask_bytes
+            self._cached_collection = collection
+        return collection
+
+    def _generate(self, view: ResidualGraph) -> FlatRRCollection:
         if self._n_jobs is None:
             return FlatRRCollection.generate(view, self._num_samples, self._rng)
         if self._pool is None or self._pool.base is not view.base:

@@ -18,6 +18,15 @@ One pool serves one base graph:
   bit-for-bit the output of any other worker count, which is the
   subsystem's determinism contract.
 
+Extensions (``FlatRRCollection.extend_generate`` with ``pool=``, used by
+the ``sample_reuse`` paths of HATP/HNTP/ADDATP) go through the same
+:meth:`SamplingPool.generate` entry point: an extension of ``m`` RR sets
+is sharded exactly like a stand-alone batch of ``m`` sets, so its
+determinism key is ``(random_state, m)`` — independent of how many sets
+the collection already holds, and still bit-for-bit independent of
+``n_jobs``.  See "Extend-through-pool semantics" in
+``docs/parallelism.md``.
+
 ``resolve_jobs`` is the single knob-resolution point: explicit ``n_jobs``
 arguments win, the ``REPRO_JOBS`` environment variable fills in when the
 caller passed ``None``, and ``-1`` means "all usable cores".

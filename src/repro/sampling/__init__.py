@@ -15,9 +15,17 @@ The sampling layer is organised around a batched, NumPy-vectorized engine:
   :class:`~repro.sampling.flat_collection.FlatRRCollection` wraps a batch
   with a CSR inverted index ``node -> rr_ids``; ``coverage`` /
   ``marginal_coverage`` / ``covered_mask`` are bincount/boolean-mask
-  operations and ``extend`` is O(1) amortized.  Every algorithm in the repo
-  (ADDATP, HATP, HNTP, the RIS oracle behind ADG, and the IMM/NSG/NDG
-  baselines) samples through this path.
+  operations, ``extend`` is O(1) amortized, and the inverted index is
+  extend-aware (append-merge, never a full rebuild).  Every algorithm in
+  the repo (ADDATP, HATP, HNTP, the RIS oracle behind ADG, and the
+  IMM/NSG/NDG baselines) samples through this path.
+* :mod:`repro.sampling.coverage` —
+  :class:`~repro.sampling.coverage.CoverageCounter` keeps ``CovR(S)`` and
+  all per-node marginals as live counters, updated incrementally when the
+  conditioning set grows/shrinks or the collection extends.  It powers the
+  vectorized lazy greedy in the baselines and the ``sample_reuse`` paths
+  of HATP/HNTP/ADDATP (samples carried across refinement rounds instead of
+  regenerated).
 * :mod:`repro.sampling.rr_sets` / :mod:`repro.sampling.rr_collection` — the
   historical per-set BFS and dict-indexed collection.  They remain fully
   supported as reference implementations.
@@ -62,6 +70,7 @@ from repro.sampling.bounds import (
     hybrid_sample_size,
     hybrid_upper_tail,
 )
+from repro.sampling.coverage import CoverageCounter
 from repro.sampling.engine import RRBatch, generate_rr_batch, merge_rr_batches
 from repro.sampling.estimators import (
     RISProfitEstimator,
@@ -78,6 +87,7 @@ from repro.sampling.rr_sets import (
 )
 
 __all__ = [
+    "CoverageCounter",
     "FlatRRCollection",
     "RISProfitEstimator",
     "RISSpreadEstimator",

@@ -8,12 +8,20 @@ the batch as flat int64 arrays:
 * ``(offsets, nodes)``: CSR over RR-set ids (set ``i`` is
   ``nodes[offsets[i]:offsets[i+1]]``), exactly the layout produced by
   :func:`repro.sampling.engine.generate_rr_batch`;
-* an inverted CSR index ``node -> rr_ids`` built once per consolidation,
-  so coverage queries are array gathers plus boolean-mask arithmetic
-  instead of Python ``dict``/``set`` traversals.
+* an inverted CSR index ``node -> rr_ids``, so coverage queries are array
+  gathers plus boolean-mask arithmetic instead of Python ``dict``/``set``
+  traversals.
 
-``extend`` is O(1) amortized: appended batches are buffered and both the
-flat storage and the inverted index are rebuilt lazily on the next query.
+``extend`` is O(1) amortized: appended batches are buffered and folded into
+the flat storage lazily on the next query.  The inverted index is
+*extend-aware*: once built, appending ``m`` sets costs one ``argsort`` of
+the appended portion plus a linear append-merge into the existing CSR —
+the index over the original sets is never recomputed.  That is what makes
+sample reuse across refinement rounds (see
+:class:`repro.sampling.coverage.CoverageCounter` and the ``sample_reuse``
+knob of HATP/HNTP/ADDATP) cheap: ``extend_generate`` grows a live
+collection by exactly the ``θ_i − θ_{i−1}`` new sets of a round, through
+the parallel pool when one is supplied.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ class FlatRRCollection:
         "_pending",
         "_inv_offsets",
         "_inv_rr_ids",
+        "_inv_synced_sets",
     )
 
     def __init__(self, batch: RRBatch) -> None:
@@ -58,6 +67,7 @@ class FlatRRCollection:
         self._pending: List[RRBatch] = []
         self._inv_offsets: Optional[np.ndarray] = None
         self._inv_rr_ids: Optional[np.ndarray] = None
+        self._inv_synced_sets = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -83,19 +93,10 @@ class FlatRRCollection:
         neither is requested the historical single-batch engine runs
         unchanged.
         """
-        from repro.parallel.pool import parallel_generate_rr_batch, resolve_jobs
-
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
-        if pool is not None:
-            return cls(pool.generate(view, count, random_state, backend=backend))
-        jobs = resolve_jobs(n_jobs)
-        if jobs is not None:
-            return cls(
-                parallel_generate_rr_batch(
-                    view, count, random_state, backend=backend, n_jobs=jobs
-                )
-            )
-        return cls(generate_rr_batch(view, count, random_state, backend=backend))
+        return cls(
+            _dispatch_generate(view, count, random_state, backend, n_jobs, pool)
+        )
 
     @classmethod
     def from_rr_sets(
@@ -108,7 +109,7 @@ class FlatRRCollection:
         return cls(_batch_from_sets(rr_sets, num_active_nodes, n))
 
     def extend(self, rr_sets: Union[RRBatch, Iterable[Iterable[int]]]) -> None:
-        """Append RR sets (an ``RRBatch`` or explicit sets); index rebuilt lazily."""
+        """Append RR sets (an ``RRBatch`` or explicit sets); index merged lazily."""
         if isinstance(rr_sets, RRBatch):
             batch = rr_sets
         else:
@@ -116,8 +117,41 @@ class FlatRRCollection:
         if batch.n > self._n:
             self._n = int(batch.n)
         self._pending.append(batch)
-        self._inv_offsets = None
-        self._inv_rr_ids = None
+
+    def extend_generate(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        count: int,
+        random_state: RandomState = None,
+        backend: str = "vectorized",
+        n_jobs: Optional[int] = None,
+        pool: Optional["SamplingPool"] = None,
+    ) -> None:
+        """Generate ``count`` more RR sets on ``graph`` and append them.
+
+        The incremental twin of :meth:`generate`: a refinement round that
+        needs ``θ_i`` sets but already holds ``θ_{i−1}`` calls this with
+        ``count = θ_i − θ_{i−1}`` instead of regenerating from scratch.
+        The extension must be sampled on the *same* residual state as the
+        existing sets (checked through ``num_active_nodes``) — mixing
+        scaling factors would silently bias the RIS estimator.  ``pool`` /
+        ``n_jobs`` route the new batch through the parallel subsystem
+        exactly as in :meth:`generate`; the extension is sharded as a
+        stand-alone batch of ``count`` sets (see ``docs/parallelism.md``).
+        """
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        batch = _dispatch_generate(view, count, random_state, backend, n_jobs, pool)
+        if batch.num_active_nodes != self._num_active_nodes:
+            raise ValidationError(
+                "cannot extend a collection with sets sampled on a different "
+                f"residual state (num_active_nodes {batch.num_active_nodes} "
+                f"!= {self._num_active_nodes})"
+            )
+        self.extend(batch)
 
     def _consolidate(self) -> None:
         if not self._pending:
@@ -134,18 +168,56 @@ class FlatRRCollection:
         self._pending = []
 
     def _index(self) -> tuple:
-        """The inverted CSR index ``node -> rr_ids`` (built on demand)."""
+        """The inverted CSR index ``node -> rr_ids`` (built/merged on demand)."""
         self._consolidate()
+        num_sets = int(self._offsets.shape[0] - 1)
         if self._inv_offsets is None:
             counts = np.bincount(self._nodes, minlength=self._n)
             self._inv_offsets = np.zeros(self._n + 1, dtype=np.int64)
             np.cumsum(counts, out=self._inv_offsets[1:])
             order = np.argsort(self._nodes, kind="stable")
             rr_of_position = np.repeat(
-                np.arange(self.num_sets, dtype=np.int64), np.diff(self._offsets)
+                np.arange(num_sets, dtype=np.int64), np.diff(self._offsets)
             )
             self._inv_rr_ids = rr_of_position[order]
+            self._inv_synced_sets = num_sets
+        elif self._inv_synced_sets < num_sets:
+            self._merge_index(num_sets)
         return self._inv_offsets, self._inv_rr_ids
+
+    def _merge_index(self, num_sets: int) -> None:
+        """Append-merge the sets added since the last index build into the CSR.
+
+        Only the appended suffix is sorted; the existing per-node runs are
+        copied to their shifted positions with two bulk scatters.  Within a
+        node's run rr ids stay ascending (appended ids are all larger), so
+        :meth:`sets_containing` keeps returning sorted ids.
+        """
+        n = self._n
+        synced = self._inv_synced_sets
+        old_counts = np.diff(self._inv_offsets)
+        if old_counts.shape[0] < n:
+            old_counts = np.concatenate(
+                [old_counts, np.zeros(n - old_counts.shape[0], dtype=np.int64)]
+            )
+        start = int(self._offsets[synced])
+        appended_nodes = self._nodes[start:]
+        appended_counts = np.bincount(appended_nodes, minlength=n)
+        order = np.argsort(appended_nodes, kind="stable")
+        appended_rr = np.repeat(
+            np.arange(synced, num_sets, dtype=np.int64),
+            np.diff(self._offsets[synced:]),
+        )
+        new_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(old_counts + appended_counts, out=new_offsets[1:])
+        merged = np.empty(int(new_offsets[-1]), dtype=np.int64)
+        merged[flat_slice_indices(new_offsets[:-1], old_counts)] = self._inv_rr_ids
+        merged[
+            flat_slice_indices(new_offsets[:-1] + old_counts, appended_counts)
+        ] = appended_rr[order]
+        self._inv_offsets = new_offsets
+        self._inv_rr_ids = merged
+        self._inv_synced_sets = num_sets
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -161,6 +233,21 @@ class FlatRRCollection:
     def num_active_nodes(self) -> int:
         """``n_i`` of the residual graph the sets were sampled on."""
         return self._num_active_nodes
+
+    @property
+    def n(self) -> int:
+        """Node-id universe of the base graph the sets were sampled on."""
+        return self._n
+
+    def flat(self) -> tuple:
+        """The consolidated flat ``(offsets, nodes)`` arrays (do not mutate).
+
+        This is the raw CSR the batch engine produced; stateful consumers
+        such as :class:`repro.sampling.coverage.CoverageCounter` read it
+        directly for bulk gathers instead of going through per-set views.
+        """
+        self._consolidate()
+        return self._offsets, self._nodes
 
     @property
     def rr_sets(self) -> List[Set[int]]:
@@ -204,19 +291,17 @@ class FlatRRCollection:
     # coverage queries
     # ------------------------------------------------------------------ #
 
-    def _covered_ids(self, nodes: Iterable[int]) -> np.ndarray:
+    def covering_ids(self, nodes: Iterable[int]) -> np.ndarray:
         """Concatenated (non-unique) rr ids of the sets touched by ``nodes``.
 
         One vectorized gather over the inverted CSR: the per-node slices are
         addressed with a single repeat/arange index instead of a Python
-        slice per node.
+        slice per node.  Out-of-range ids are ignored.
         """
-        inv_offsets, inv_rr_ids = self._index()
-        node_array = np.asarray(
-            nodes if isinstance(nodes, np.ndarray) else list(nodes), dtype=np.int64
-        )
+        node_array = _as_node_array(nodes)
         if node_array.size == 0:
             return np.zeros(0, dtype=np.int64)
+        inv_offsets, inv_rr_ids = self._index()
         node_array = node_array[(node_array >= 0) & (node_array < self._n)]
         starts = inv_offsets[node_array]
         degrees = inv_offsets[node_array + 1] - starts
@@ -227,24 +312,39 @@ class FlatRRCollection:
     def covered_mask(self, nodes: Iterable[int]) -> np.ndarray:
         """Boolean array over RR-set ids marking the sets intersected by ``nodes``."""
         mask = np.zeros(self.num_sets, dtype=bool)
-        ids = self._covered_ids(nodes)
+        ids = self.covering_ids(nodes)
         if ids.size:
             mask[ids] = True
         return mask
 
     def coverage(self, nodes: Iterable[int]) -> int:
         """``CovR(S)``: number of RR sets intersecting ``nodes``."""
-        return int(np.count_nonzero(self.covered_mask(nodes)))
+        ids = self.covering_ids(nodes)
+        if ids.size == 0:
+            # Empty conditioning set (or no touched sets): no full-size
+            # bool allocation, no index build on a fresh collection.
+            return 0
+        mask = np.zeros(self.num_sets, dtype=bool)
+        mask[ids] = True
+        return int(np.count_nonzero(mask))
 
     def marginal_coverage(self, node: int, conditioning_set: Iterable[int]) -> int:
-        """``CovR(u | S)``: RR sets containing ``u`` but disjoint from ``S``."""
+        """``CovR(u | S)``: RR sets containing ``u`` but disjoint from ``S``.
+
+        ``conditioning_set`` may be any iterable of node ids; ndarray inputs
+        take a pure-array path with no per-call Python-set conversion.
+        """
         node = int(node)
         ids = self.sets_containing(node)
         if ids.size == 0:
             return 0
-        conditioning = {int(v) for v in conditioning_set}
-        conditioning.discard(node)
-        if not conditioning:
+        if isinstance(conditioning_set, np.ndarray):
+            conditioning = conditioning_set[conditioning_set != node]
+        else:
+            conditioning_py = {int(v) for v in conditioning_set}
+            conditioning_py.discard(node)
+            conditioning = conditioning_py
+        if len(conditioning) == 0:
             return int(ids.size)
         mask = self.covered_mask(conditioning)
         return int(ids.size - np.count_nonzero(mask[ids]))
@@ -280,6 +380,34 @@ class FlatRRCollection:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FlatRRCollection sets={self.num_sets} n_i={self._num_active_nodes}>"
+
+
+def _as_node_array(nodes: Iterable[int]) -> np.ndarray:
+    """Normalise a conditioning set to an int64 array (no-copy for ndarrays)."""
+    if isinstance(nodes, np.ndarray):
+        return nodes.astype(np.int64, copy=False)
+    return np.asarray(list(nodes), dtype=np.int64)
+
+
+def _dispatch_generate(
+    view: ResidualGraph,
+    count: int,
+    random_state: RandomState,
+    backend: str,
+    n_jobs: Optional[int],
+    pool: Optional["SamplingPool"],
+) -> RRBatch:
+    """Route one batch generation through the pool / sharded / plain engine."""
+    from repro.parallel.pool import parallel_generate_rr_batch, resolve_jobs
+
+    if pool is not None:
+        return pool.generate(view, count, random_state, backend=backend)
+    jobs = resolve_jobs(n_jobs)
+    if jobs is not None:
+        return parallel_generate_rr_batch(
+            view, count, random_state, backend=backend, n_jobs=jobs
+        )
+    return generate_rr_batch(view, count, random_state, backend=backend)
 
 
 def _batch_from_sets(

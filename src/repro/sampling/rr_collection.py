@@ -114,6 +114,13 @@ class RRCollection:
         """Ids of the RR sets that contain ``node``."""
         return self._node_index.get(int(node), [])
 
+    def nodes_appearing(self) -> np.ndarray:
+        """Node ids appearing in at least one RR set (sorted).
+
+        Read off the inverted index keys — no materialization of the sets.
+        """
+        return np.asarray(sorted(self._node_index), dtype=np.int64)
+
     def total_size(self) -> int:
         """Sum of RR-set sizes (a proxy for generation cost)."""
         return sum(len(rr) for rr in self._rr_sets)

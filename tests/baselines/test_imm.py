@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.baselines.imm import (
@@ -10,8 +11,35 @@ from repro.baselines.imm import (
     top_k_influential,
 )
 from repro.graphs.generators import path_graph, star_graph
+from repro.sampling.flat_collection import FlatRRCollection
 from repro.sampling.rr_collection import RRCollection
 from repro.utils.exceptions import ValidationError
+
+
+def rescan_greedy_reference(collection, k, candidates=None):
+    """The historical per-candidate rescan (kept as executable spec)."""
+    covered = np.zeros(collection.num_sets, dtype=bool)
+    pool = None if candidates is None else [int(v) for v in candidates]
+    chosen = []
+    for _ in range(k):
+        best_node, best_gain = None, -1
+        best_ids = np.zeros(0, dtype=np.int64)
+        search_space = (
+            pool if pool is not None else collection.nodes_appearing().tolist()
+        )
+        for node in search_space:
+            if node in chosen:
+                continue
+            ids = np.asarray(collection.sets_containing(node), dtype=np.int64)
+            new_ids = ids[~covered[ids]] if ids.size else ids
+            if new_ids.size > best_gain:
+                best_node, best_gain, best_ids = node, int(new_ids.size), new_ids
+        if best_node is None:
+            break
+        chosen.append(best_node)
+        covered[best_ids] = True
+    spread = covered.sum() * collection.num_active_nodes / max(collection.num_sets, 1)
+    return chosen, float(spread)
 
 
 class TestGreedyMaxCoverage:
@@ -41,6 +69,55 @@ class TestGreedyMaxCoverage:
         collection = RRCollection([{0}], num_active_nodes=1)
         with pytest.raises(ValidationError):
             greedy_max_coverage(collection, k=0)
+
+
+class TestCounterSelectionMatchesRescan:
+    """The vectorized lazy greedy must replicate the rescan pick-for-pick."""
+
+    def random_collection(self, seed, num_sets=60, n=35):
+        rng = np.random.default_rng(seed)
+        sets = [
+            rng.choice(n, size=rng.integers(1, 9), replace=False).tolist()
+            for _ in range(num_sets)
+        ]
+        return FlatRRCollection.from_rr_sets(sets, num_active_nodes=n, n=n)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_unrestricted_selection(self, seed, k):
+        collection = self.random_collection(seed)
+        assert greedy_max_coverage(collection, k) == rescan_greedy_reference(
+            collection, k
+        )
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_candidate_restricted_selection(self, seed):
+        collection = self.random_collection(seed)
+        rng = np.random.default_rng(seed + 100)
+        candidates = [int(v) for v in rng.permutation(35)[:12]]
+        assert greedy_max_coverage(
+            collection, 5, candidates=candidates
+        ) == rescan_greedy_reference(collection, 5, candidates=candidates)
+
+    def test_tie_breaking_follows_candidate_order(self):
+        # Nodes 1 and 3 tie at two sets each; the first candidate wins.
+        collection = FlatRRCollection.from_rr_sets(
+            [{1}, {1, 3}, {3}], num_active_nodes=5
+        )
+        chosen, _ = greedy_max_coverage(collection, 1, candidates=[3, 1])
+        assert chosen == [3]
+        assert chosen == rescan_greedy_reference(collection, 1, candidates=[3, 1])[0]
+
+    def test_dict_collection_agrees_with_flat(self):
+        flat = self.random_collection(9)
+        legacy = RRCollection(flat.rr_sets, flat.num_active_nodes)
+        assert greedy_max_coverage(flat, 4) == greedy_max_coverage(legacy, 4)
+
+    def test_candidates_outside_universe_behave_like_uncovering_nodes(self):
+        collection = FlatRRCollection.from_rr_sets([{0, 1}], num_active_nodes=2)
+        chosen, _ = greedy_max_coverage(collection, 2, candidates=[99, 0])
+        reference, _ = rescan_greedy_reference(collection, 2, candidates=[99, 0])
+        assert chosen == reference
 
 
 class TestTopKInfluential:

@@ -1,0 +1,174 @@
+"""Differential tests for the stateful coverage subsystem.
+
+The contract under test: every :class:`CoverageCounter` query agrees
+*exactly* (integer-for-integer) with the stateless
+``FlatRRCollection.coverage`` / ``marginal_coverage`` evaluated on the same
+collection and conditioning set — across conditioning growth, shrinkage,
+and collection extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.coverage import CoverageCounter
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.utils.exceptions import ValidationError
+
+
+def random_rr_sets(num_sets, n, rng, max_size=8):
+    return [
+        rng.choice(n, size=rng.integers(1, max_size), replace=False).tolist()
+        for _ in range(num_sets)
+    ]
+
+
+def assert_counter_matches(counter, collection, conditioning):
+    n = collection.n
+    assert counter.coverage() == collection.coverage(conditioning)
+    for node in range(n):
+        assert counter.marginal_count(node) == collection.marginal_coverage(
+            node, conditioning
+        ), (node, sorted(conditioning))
+    # Bulk marginals agree for every node outside the conditioning set.
+    counts = counter.marginal_counts
+    for node in range(n):
+        if node not in conditioning:
+            assert counts[node] == collection.marginal_coverage(node, conditioning)
+
+
+class TestAgainstStatelessQueries:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_conditioning_growth_sequence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 30
+        collection = FlatRRCollection.from_rr_sets(
+            random_rr_sets(40, n, rng), num_active_nodes=n, n=n
+        )
+        counter = CoverageCounter(collection)
+        conditioning = set()
+        for node in rng.permutation(n)[:12]:
+            counter.add([int(node)])
+            conditioning.add(int(node))
+            assert_counter_matches(counter, collection, conditioning)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_conditioning_shrink_sequence(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 25
+        collection = FlatRRCollection.from_rr_sets(
+            random_rr_sets(35, n, rng), num_active_nodes=n, n=n
+        )
+        conditioning = {int(v) for v in rng.permutation(n)[:15]}
+        counter = CoverageCounter(collection, conditioning)
+        assert_counter_matches(counter, collection, conditioning)
+        for node in list(conditioning)[:10]:
+            counter.remove([node])
+            conditioning.discard(node)
+            assert_counter_matches(counter, collection, conditioning)
+
+    def test_extension_sync(self):
+        rng = np.random.default_rng(7)
+        n = 30
+        first = random_rr_sets(25, n, rng)
+        second = random_rr_sets(20, n, rng)
+        collection = FlatRRCollection.from_rr_sets(first, num_active_nodes=n, n=n)
+        conditioning = {1, 4, 9}
+        counter = CoverageCounter(collection, conditioning)
+        collection.extend(second)
+        # The counter transparently absorbs the appended sets.
+        reference = FlatRRCollection.from_rr_sets(
+            first + second, num_active_nodes=n, n=n
+        )
+        assert_counter_matches(counter, reference, conditioning)
+        # Growth after the sync keeps agreeing too.
+        third = random_rr_sets(15, n, rng)
+        collection.extend(third)
+        counter.add([17])
+        conditioning.add(17)
+        reference = FlatRRCollection.from_rr_sets(
+            first + second + third, num_active_nodes=n, n=n
+        )
+        assert_counter_matches(counter, reference, conditioning)
+
+    def test_marginal_of_conditioning_member_excludes_itself(self):
+        collection = FlatRRCollection.from_rr_sets(
+            [{0, 1}, {0}, {0, 2}, {3}], num_active_nodes=4
+        )
+        counter = CoverageCounter(collection, {0, 2})
+        # Sets containing 0 and disjoint from {2}: {0, 1} and {0}.
+        assert counter.marginal_count(0) == collection.marginal_coverage(0, {0, 2})
+        assert counter.marginal_count(0) == 2
+
+    def test_out_of_range_nodes_are_ignored(self):
+        collection = FlatRRCollection.from_rr_sets([{0, 1}, {2}], num_active_nodes=3)
+        counter = CoverageCounter(collection, {99, -4})
+        assert counter.coverage() == 0
+        assert counter.marginal_count(99) == 0
+        counter.add([0])
+        assert counter.coverage() == 1
+
+    def test_duplicate_adds_are_idempotent(self):
+        collection = FlatRRCollection.from_rr_sets([{0, 1}, {1, 2}], num_active_nodes=3)
+        counter = CoverageCounter(collection)
+        counter.add([1])
+        counter.add([1, 1])
+        assert counter.coverage() == 2
+        counter.remove([1])
+        assert counter.coverage() == 0
+        assert counter.marginal_count(1) == 2
+
+    def test_empty_collection(self):
+        collection = FlatRRCollection.from_rr_sets([], num_active_nodes=5, n=5)
+        counter = CoverageCounter(collection, {0, 1})
+        assert counter.coverage() == 0
+        assert counter.marginal_count(3) == 0
+        assert counter.estimate_spread() == 0.0
+        assert counter.estimate_marginal_spread(3) == 0.0
+
+    def test_estimates_mirror_collection(self):
+        rng = np.random.default_rng(11)
+        n = 20
+        collection = FlatRRCollection.from_rr_sets(
+            random_rr_sets(30, n, rng), num_active_nodes=n, n=n
+        )
+        conditioning = {2, 5}
+        counter = CoverageCounter(collection, conditioning)
+        assert counter.estimate_spread() == pytest.approx(
+            collection.estimate_spread(conditioning)
+        )
+        for node in (0, 2, 7):
+            assert counter.estimate_marginal_spread(node) == pytest.approx(
+                collection.estimate_marginal_spread(node, conditioning)
+            )
+
+    def test_rejects_shrinking_collection(self):
+        collection = FlatRRCollection.from_rr_sets([{0}], num_active_nodes=2)
+        counter = CoverageCounter(collection)
+        counter._num_synced = 5  # simulate a stale counter over a replaced batch
+        with pytest.raises(ValidationError):
+            counter.sync()
+
+
+class TestNdarrayConditioningFastPath:
+    def test_marginal_coverage_accepts_ndarray(self):
+        rng = np.random.default_rng(13)
+        n = 25
+        collection = FlatRRCollection.from_rr_sets(
+            random_rr_sets(40, n, rng), num_active_nodes=n, n=n
+        )
+        conditioning = rng.permutation(n)[:10].astype(np.int64)
+        as_set = {int(v) for v in conditioning}
+        for node in range(n):
+            assert collection.marginal_coverage(
+                node, conditioning
+            ) == collection.marginal_coverage(node, as_set)
+
+    def test_empty_conditioning_short_circuits(self):
+        collection = FlatRRCollection.from_rr_sets([{0, 1}, {2}], num_active_nodes=3)
+        assert collection.coverage([]) == 0
+        assert collection.coverage(np.zeros(0, dtype=np.int64)) == 0
+        assert collection.marginal_coverage(0, np.zeros(0, dtype=np.int64)) == 1
+        # covered_mask keeps its full-length contract either way.
+        assert collection.covered_mask([]).shape == (2,)
