@@ -130,7 +130,7 @@ class ADDATP:
     def run(self, session: AdaptiveSession) -> SeedingResult:
         """Execute Algorithm 3 against ``session``."""
         pool = (
-            SamplingPool(session.graph, n_jobs=self._n_jobs)
+            SamplingPool(session.graph, n_jobs=self._n_jobs, directions=("in",))
             if self._n_jobs is not None
             else None
         )

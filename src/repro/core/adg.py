@@ -20,7 +20,12 @@ When ADG is driven by the RIS oracle
 (:class:`repro.core.oracle.RISSpreadOracle`), every oracle query samples a
 fresh batch through the vectorized engine of
 :mod:`repro.sampling.engine`, so the oracle-model algorithm shares the
-same fast sampling substrate as the noise-model ones.
+same fast sampling substrate as the noise-model ones.  Both per-node
+marginals are requested through
+:meth:`~repro.core.oracle.ProfitOracle.marginal_profit_pair`: oracles with
+a batched backend (the vectorized Monte-Carlo oracle) answer the front and
+rear queries from one shared realization batch, while every other oracle
+falls back to the historical two sequential queries.
 """
 
 from __future__ import annotations
@@ -80,10 +85,10 @@ class ADG:
                 continue
 
             residual = session.residual
-            front_profit = self._oracle.marginal_profit(residual, node, selected)
-            rear_profit = -self._oracle.marginal_profit(
-                residual, node, candidates - {node}
+            front_profit, rear_raw = self._oracle.marginal_profit_pair(
+                residual, node, selected, candidates - {node}
             )
+            rear_profit = -rear_raw
             oracle_queries += 2
 
             if front_profit >= rear_profit:

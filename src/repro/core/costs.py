@@ -138,18 +138,24 @@ def estimate_spread_lower_bound(
     num_mc_runs: int = 0,
     confidence: float = 0.95,
     random_state: RandomState = None,
+    mc_backend: Optional[str] = None,
 ) -> float:
     """Lower bound ``E_l[I(T)]`` on the expected spread of ``nodes``.
 
     Uses the RIS estimator by default (fast, low variance); passing
     ``num_mc_runs > 0`` switches to Monte-Carlo simulation with a one-sided
     confidence bound, which is the more literal reading of the paper.
+    ``mc_backend`` selects the simulation engine for that path (``None``
+    honours ``REPRO_MC_BACKEND``, defaulting to the historical per-cascade
+    loop; ``"vectorized"`` runs all cascades as one batched sweep).
     """
     nodes = [int(v) for v in nodes]
     if not nodes:
         return 0.0
     if num_mc_runs > 0:
-        samples = monte_carlo_spread_samples(graph, nodes, num_mc_runs, random_state)
+        samples = monte_carlo_spread_samples(
+            graph, nodes, num_mc_runs, random_state, backend=mc_backend
+        )
         return expected_spread_lower_bound(samples, confidence)
     collection = FlatRRCollection.generate(graph, num_rr_sets, random_state)
     estimate = collection.estimate_spread(nodes)

@@ -167,7 +167,7 @@ class HATP:
     def run(self, session: AdaptiveSession) -> SeedingResult:
         """Execute Algorithm 4 against ``session``."""
         pool = (
-            SamplingPool(session.graph, n_jobs=self._n_jobs)
+            SamplingPool(session.graph, n_jobs=self._n_jobs, directions=("in",))
             if self._n_jobs is not None
             else None
         )

@@ -83,7 +83,7 @@ class HNTP:
     ) -> NonadaptiveSelection:
         """Choose the seed set nonadaptively on the full graph ``G``."""
         pool = (
-            SamplingPool(graph, n_jobs=self._n_jobs)
+            SamplingPool(graph, n_jobs=self._n_jobs, directions=("in",))
             if self._n_jobs is not None
             else None
         )

@@ -19,9 +19,16 @@ marginal *profits* directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Protocol
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.profit import total_cost
+from repro.diffusion.mc_engine import (
+    replay_live_edges,
+    resolve_mc_backend,
+    sample_live_chunks,
+)
 from repro.diffusion.spread import (
     exact_expected_spread,
     monte_carlo_marginal_spread,
@@ -95,22 +102,111 @@ class ExactSpreadOracle:
         return with_node - without_node
 
 
-class MonteCarloSpreadOracle:
-    """Monte-Carlo oracle averaging forward IC cascades."""
+class _PooledOracleMixin:
+    """Lazy pool-per-base-graph lifecycle shared by the sampling oracles.
 
-    def __init__(self, num_simulations: int = 1000, random_state: RandomState = None) -> None:
+    Repeated samplers hold one persistent
+    :class:`~repro.parallel.pool.SamplingPool` per base graph instead of
+    paying worker start-up per query; :meth:`close` (or context-manager
+    use) releases the workers and shared memory eagerly.  Subclasses call
+    :meth:`_pool_for` with the CSR direction their workload reads.
+    """
+
+    _pool = None
+    _n_jobs: Optional[int] = None
+
+    def _pool_for(self, view: ResidualGraph, directions: Tuple[str, ...]):
+        if self._pool is None or self._pool.base is not view.base:
+            from repro.parallel.pool import SamplingPool
+
+            if self._pool is not None:
+                self._pool.close()
+            self._pool = SamplingPool(
+                view, n_jobs=self._n_jobs, directions=directions
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the held sampling pool, if any (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MonteCarloSpreadOracle(_PooledOracleMixin):
+    """Monte-Carlo oracle averaging forward IC cascades.
+
+    ``backend`` selects the simulation engine per query (resolved through
+    :func:`repro.diffusion.mc_engine.resolve_mc_backend`; ``None`` honours
+    ``REPRO_MC_BACKEND`` and defaults to the historical per-cascade
+    ``"python"`` loop, keeping the exact historical RNG streams).  With
+    ``backend="vectorized"`` every spread query runs as one batched
+    frontier-at-a-time sweep, and ``n_jobs`` shards the
+    :meth:`expected_spread` batches across a persistent
+    :class:`~repro.parallel.pool.SamplingPool` per base graph (call
+    :meth:`close` or use the oracle as a context manager to release the
+    workers eagerly; output is bit-for-bit independent of the worker
+    count).  Marginal queries deliberately stay in-process regardless of
+    ``n_jobs``: they replay a *shared* realization stream whose contract
+    is bit-for-bit equality with the historical per-realization loop, and
+    sharding would re-draw the realizations per shard and break it.
+
+    The vectorized backend additionally unlocks the *batched query API*
+    (:meth:`marginal_spreads`, :meth:`marginal_spread_pair`): many
+    candidate marginals are evaluated against one shared realization
+    stream (common random numbers across *queries*, not just within one),
+    which is how ADG amortises its per-node front/rear evaluations over a
+    single bulk draw.
+    """
+
+    def __init__(
+        self,
+        num_simulations: int = 1000,
+        random_state: RandomState = None,
+        backend: Optional[str] = None,
+        n_jobs: Optional[int] = None,
+    ) -> None:
+        from repro.parallel.pool import resolve_jobs
+
         self._num_simulations = int(num_simulations)
         self._rng = ensure_rng(random_state)
+        self._backend = resolve_mc_backend(backend)
+        self._n_jobs = resolve_jobs(n_jobs) if self._backend == "vectorized" else None
+        self._pool = None
 
     @property
     def num_simulations(self) -> int:
         """Cascades per query."""
         return self._num_simulations
 
+    @property
+    def backend(self) -> str:
+        """Resolved simulation backend (``"python"`` or ``"vectorized"``)."""
+        return self._backend
+
+    def _query_pool(self, view: ResidualGraph):
+        if self._n_jobs is None:
+            return None
+        return self._pool_for(view, ("out",))
+
     def expected_spread(
         self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
     ) -> float:
-        return monte_carlo_spread(graph, seeds, self._num_simulations, self._rng)
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        return monte_carlo_spread(
+            view,
+            seeds,
+            self._num_simulations,
+            self._rng,
+            backend=self._backend,
+            pool=self._query_pool(view),
+        )
 
     def marginal_spread(
         self,
@@ -119,11 +215,119 @@ class MonteCarloSpreadOracle:
         conditioning_set: Iterable[int],
     ) -> float:
         return monte_carlo_marginal_spread(
-            graph, node, conditioning_set, self._num_simulations, self._rng
+            graph,
+            node,
+            conditioning_set,
+            self._num_simulations,
+            self._rng,
+            backend=self._backend,
         )
 
+    # ------------------------------------------------------------------ #
+    # batched query API (shared realizations across queries)
+    # ------------------------------------------------------------------ #
 
-class RISSpreadOracle:
+    def _batched_mean_spreads(
+        self, view: ResidualGraph, seed_sets: Sequence[Sequence[int]]
+    ) -> np.ndarray:
+        """Mean spread of several seed sets over one shared realization stream.
+
+        Draws ``num_simulations`` live-edge realizations in bulk rows and
+        replays every seed set against each of them through the batched
+        live-edge engine — common random numbers across all queries, one
+        coin-flip pass regardless of how many seed sets are evaluated.
+        """
+        base = view.base
+        totals = np.zeros(len(seed_sets), dtype=np.int64)
+        sims = self._num_simulations
+        for live in sample_live_chunks(self._rng, base.out_csr()[2], sims):
+            for index, seed_set in enumerate(seed_sets):
+                if seed_set:
+                    totals[index] += int(replay_live_edges(view, seed_set, live).sum())
+        return totals / sims
+
+    def marginal_spreads(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        nodes: Sequence[int],
+        conditioning_set: Iterable[int],
+    ) -> np.ndarray:
+        """``E[I(u | S)]`` for many candidates ``u`` in one batched call.
+
+        All candidates share the same realization stream (and the same
+        baseline ``E[I(S)]`` evaluation), so the whole sweep costs one bulk
+        coin-flip pass plus one replay per candidate instead of one full
+        Monte-Carlo run per candidate.  Candidates already in ``S`` read
+        0.0, mirroring :meth:`marginal_spread`.  With ``backend="python"``
+        the historical per-query loop runs instead.
+        """
+        nodes = [int(v) for v in nodes]
+        conditioning = [int(v) for v in conditioning_set]
+        if self._backend != "vectorized":
+            return np.asarray(
+                [self.marginal_spread(graph, node, conditioning) for node in nodes],
+                dtype=np.float64,
+            )
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        members = set(conditioning)
+        candidates = [node for node in nodes if node not in members]
+        seed_sets: List[List[int]] = [conditioning]
+        seed_sets.extend(conditioning + [node] for node in candidates)
+        means = self._batched_mean_spreads(view, seed_sets)
+        baseline = means[0] if conditioning else 0.0
+        by_node = dict(zip(candidates, means[1:]))
+        return np.asarray(
+            [by_node[node] - baseline if node in by_node else 0.0 for node in nodes],
+            dtype=np.float64,
+        )
+
+    def marginal_spread_pair(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        front_conditioning: Iterable[int],
+        rear_conditioning: Iterable[int],
+    ) -> Tuple[float, float]:
+        """``(E[I(u | S)], E[I(u | R)])`` from one shared realization batch.
+
+        The double-greedy decision of ADG needs exactly this pair per
+        examined node; evaluating both marginals against the same bulk draw
+        halves the sampling cost and correlates the front/rear noise (a
+        variance reduction for the *comparison* the algorithm makes).
+        """
+        node = int(node)
+        front = [int(v) for v in front_conditioning]
+        rear = [int(v) for v in rear_conditioning]
+        if self._backend != "vectorized":
+            return (
+                self.marginal_spread(graph, node, front),
+                self.marginal_spread(graph, node, rear),
+            )
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        seed_sets: List[List[int]] = []
+        layout: List[Optional[Tuple[int, int]]] = []
+        for conditioning in (front, rear):
+            if node in conditioning:
+                layout.append(None)
+                continue
+            without_index = len(seed_sets)
+            seed_sets.append(conditioning)
+            seed_sets.append(conditioning + [node])
+            layout.append((without_index, without_index + 1))
+        if not seed_sets:
+            return 0.0, 0.0
+        means = self._batched_mean_spreads(view, seed_sets)
+        results = []
+        for slot in layout:
+            if slot is None:
+                results.append(0.0)
+            else:
+                without_index, with_index = slot
+                results.append(float(means[with_index] - means[without_index]))
+        return results[0], results[1]
+
+
+class RISSpreadOracle(_PooledOracleMixin):
     """RIS-based oracle: a fresh RR batch per query (unbiased, cheap).
 
     ``n_jobs`` routes every query's batch through the parallel sampling
@@ -183,27 +387,9 @@ class RISSpreadOracle:
     def _generate(self, view: ResidualGraph) -> FlatRRCollection:
         if self._n_jobs is None:
             return FlatRRCollection.generate(view, self._num_samples, self._rng)
-        if self._pool is None or self._pool.base is not view.base:
-            from repro.parallel.pool import SamplingPool
-
-            if self._pool is not None:
-                self._pool.close()
-            self._pool = SamplingPool(view, n_jobs=self._n_jobs)
         return FlatRRCollection.generate(
-            view, self._num_samples, self._rng, pool=self._pool
+            view, self._num_samples, self._rng, pool=self._pool_for(view, ("in",))
         )
-
-    def close(self) -> None:
-        """Release the held sampling pool, if any (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-
-    def __enter__(self) -> "RISSpreadOracle":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     def expected_spread(
         self, graph: ProbabilisticGraph | ResidualGraph, seeds: Iterable[int]
@@ -267,3 +453,71 @@ class ProfitOracle:
             return 0.0
         marginal = self._spread_oracle.marginal_spread(graph, node, conditioning)
         return marginal - self._costs.get(node, 0.0)
+
+    def marginal_profits(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        nodes: Sequence[int],
+        conditioning_set: Iterable[int],
+    ) -> np.ndarray:
+        """``∆_G(u | S)`` for many candidates ``u`` in one call.
+
+        Uses the spread oracle's batched :meth:`marginal_spreads` when it
+        offers one (the vectorized Monte-Carlo oracle shares a single
+        realization stream across all candidates); otherwise falls back to
+        per-candidate queries in candidate order.
+        """
+        nodes = [int(v) for v in nodes]
+        conditioning = {int(v) for v in conditioning_set}
+        batched = getattr(self._spread_oracle, "marginal_spreads", None)
+        if batched is not None:
+            spreads = np.asarray(batched(graph, nodes, conditioning), dtype=np.float64)
+        else:
+            spreads = np.asarray(
+                [
+                    0.0
+                    if node in conditioning
+                    else self._spread_oracle.marginal_spread(graph, node, conditioning)
+                    for node in nodes
+                ],
+                dtype=np.float64,
+            )
+        return np.asarray(
+            [
+                0.0 if node in conditioning else spread - self._costs.get(node, 0.0)
+                for node, spread in zip(nodes, spreads)
+            ],
+            dtype=np.float64,
+        )
+
+    def marginal_profit_pair(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        node: int,
+        front_conditioning: Iterable[int],
+        rear_conditioning: Iterable[int],
+    ) -> Tuple[float, float]:
+        """The front/rear profit pair of one double-greedy decision.
+
+        ``(∆_G(u | S), ∆_G(u | R))`` for the two conditioning sets ADG
+        compares at every examined node.  Spread oracles exposing a batched
+        :meth:`marginal_spread_pair` (the vectorized Monte-Carlo oracle)
+        answer both marginals from one shared realization batch; all other
+        oracles fall back to two sequential :meth:`marginal_profit` calls —
+        front first, rear second, exactly the historical query order.
+        """
+        node = int(node)
+        front = {int(v) for v in front_conditioning}
+        rear = {int(v) for v in rear_conditioning}
+        paired = getattr(self._spread_oracle, "marginal_spread_pair", None)
+        if paired is None:
+            return (
+                self.marginal_profit(graph, node, front),
+                self.marginal_profit(graph, node, rear),
+            )
+        front_spread, rear_spread = paired(graph, node, front, rear)
+        cost = self._costs.get(node, 0.0)
+        return (
+            0.0 if node in front else front_spread - cost,
+            0.0 if node in rear else rear_spread - cost,
+        )

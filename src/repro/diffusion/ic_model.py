@@ -8,6 +8,13 @@ probability.  The process stops when no new activation happens.
 Simulating the process directly is equivalent to sampling a realization and
 taking the live-edge reachable set, but a direct simulation only flips the
 coins it actually needs, which is what :func:`simulate_ic` does.
+
+:func:`simulate_ic` runs one cascade at a time and is the executable
+specification of the per-cascade RNG stream; Monte-Carlo callers that need
+many cascades per query should go through the batched engine
+(:mod:`repro.diffusion.mc_engine`), which runs a whole batch as one
+frontier-at-a-time sweep and reproduces this module's stream exactly for a
+batch of one.
 """
 
 from __future__ import annotations

@@ -22,12 +22,14 @@ of the provided random generator, so experiments are reproducible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional, Set
+from typing import Iterable, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.diffusion.mc_engine import live_edge_reachable, replay_live_edges
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
+from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -129,6 +131,22 @@ class Realization(BaseRealization):
     def is_live(self, edge_id: int) -> bool:
         return bool(self._live[edge_id])
 
+    def activated_by(
+        self,
+        seeds: Iterable[int],
+        residual: Optional[ResidualGraph] = None,
+    ) -> Set[int]:
+        """Vectorized live-edge reachability (same result as the base loop).
+
+        An eager realization holds the full live mask, so the activated set
+        is one frontier-at-a-time sweep of the batched replay engine
+        instead of a per-node Python BFS — the hot path of every adaptive
+        session commit and of nonadaptive policy scoring.
+        """
+        view = as_residual(self.graph) if residual is None else residual
+        reached = live_edge_reachable(view, seeds, self._live)
+        return set(int(v) for v in reached)
+
     @property
     def live_mask(self) -> np.ndarray:
         """Boolean live/blocked mask indexed by edge id (copy-free view)."""
@@ -180,6 +198,47 @@ class LazyRealization(BaseRealization):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<LazyRealization sampled={self.num_sampled_edges}/{self.graph.m}>"
+
+
+def batch_realization_spreads(
+    realizations: Sequence[Realization],
+    seeds: Iterable[int],
+    residual: Optional[ResidualGraph] = None,
+) -> np.ndarray:
+    """Spreads of one seed set under many eager realizations, in one sweep.
+
+    Stacks the realizations' live masks into a ``(B, m)`` matrix and runs a
+    single batched live-edge replay — the vectorized path the experiment
+    runner uses to score a nonadaptively chosen seed set against all
+    evaluation realizations at once.  The result is element-for-element
+    identical to calling :meth:`BaseRealization.spread` per realization
+    (replay is deterministic).  Requires *eager* :class:`Realization`
+    objects (a :class:`LazyRealization` has no materialised live mask).
+    """
+    realizations = list(realizations)
+    if not realizations:
+        return np.zeros(0, dtype=np.int64)
+    first_graph = realizations[0].graph
+    for realization in realizations:
+        if not isinstance(realization, Realization):
+            raise ValidationError(
+                "batch_realization_spreads requires eager Realization objects, "
+                f"got {type(realization).__name__}"
+            )
+        # Strict identity: the batch replays every live mask against the
+        # first graph's edge ids, so a merely equal-sized different graph
+        # (allowed by the per-realization session loop, which traverses
+        # each realization's own graph) would silently score wrong here.
+        if realization.graph is not first_graph:
+            raise ValidationError(
+                "batch_realization_spreads requires all realizations to be "
+                "sampled on the same graph object; score mixed-graph "
+                "realizations with the per-realization loop instead"
+            )
+    graph = first_graph
+    view = as_residual(graph) if residual is None else residual
+    live = np.stack([realization.live_mask for realization in realizations])
+    return replay_live_edges(view, seeds, live)
 
 
 def sample_realizations(

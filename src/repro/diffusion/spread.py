@@ -7,23 +7,52 @@ model* (spreads estimated by sampling).  This module provides
 
 * :func:`exact_expected_spread` — exact value by enumerating all ``2^m``
   possible worlds.  Only feasible for the tiny graphs used in unit tests
-  and in the Fig. 1 worked example, and guarded accordingly.
+  and in the Fig. 1 worked example, and guarded accordingly.  The worlds
+  are evaluated in chunks through the batched live-edge replay engine
+  (:func:`repro.diffusion.mc_engine.replay_live_edges`) with the pattern
+  probabilities computed vectorized, instead of the historical per-pattern
+  Python inner loop.
 * :func:`monte_carlo_spread` — the classical unbiased estimator obtained by
   averaging IC simulations.
 * conditional variants used by the oracle-model algorithm ADG, where the
   quantity of interest is the *marginal* spread ``E[I_G(u | S)]`` on a
   residual graph.
+
+Backends
+--------
+The Monte-Carlo estimators accept ``backend=``, resolved through
+:func:`repro.diffusion.mc_engine.resolve_mc_backend` (the
+``REPRO_MC_BACKEND`` environment variable fills in when the caller passes
+``None``):
+
+* ``"python"`` (default) — the historical per-cascade loop; defaults keep
+  the exact historical RNG streams bit-for-bit.
+* ``"vectorized"`` — the batched engine of
+  :mod:`repro.diffusion.mc_engine`: all cascades of a query advance
+  frontier-at-a-time in bulk NumPy operations, optionally sharded across a
+  :class:`~repro.parallel.pool.SamplingPool` (``n_jobs`` / ``pool``) under
+  the library-wide determinism contract (output independent of the worker
+  count).  For :func:`monte_carlo_marginal_spread` the vectorized backend
+  consumes the *same* realization stream as the historical loop (one
+  ``rng.random(m)`` row per simulation), so it returns bit-for-bit
+  identical estimates.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.diffusion.ic_model import simulate_ic
-from repro.diffusion.realization import Realization
+from repro.diffusion.mc_engine import (
+    MCBatch,
+    live_chunk_rows,
+    replay_live_edges,
+    resolve_mc_backend,
+    sample_live_chunks,
+    simulate_ic_batch,
+)
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.utils.exceptions import ValidationError
@@ -43,6 +72,12 @@ def exact_expected_spread(
     Enumerates only the edges whose both endpoints are active in the
     residual view, so the guard applies to the *residual* edge count.
     Raises :class:`ValidationError` when that count exceeds ``max_edges``.
+
+    Pattern probabilities are computed for all ``2^r`` worlds with one
+    vectorized pass per edge (same multiplication order as the historical
+    scalar loop, so the products are bit-for-bit identical), and the
+    per-world spreads are evaluated in chunks by the batched live-edge
+    replay engine instead of one Python BFS per world.
     """
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     base = view.base
@@ -58,18 +93,36 @@ def exact_expected_spread(
             f"got {relevant.size}; use monte_carlo_spread instead"
         )
 
+    num_edges = int(relevant.size)
+    num_worlds = 1 << num_edges
+    rel_probs = probs[relevant]
+    rel_comp = 1.0 - rel_probs
+
+    # Probability of every bit pattern at once.  Bit ``num_edges - 1 - k``
+    # of the pattern index is edge ``k``'s live flag, which reproduces the
+    # historical ``itertools.product([False, True], ...)`` enumeration
+    # order (and the per-pattern multiplication order, factor by factor).
+    indices = np.arange(num_worlds, dtype=np.int64)
+    pattern_probs = np.ones(num_worlds, dtype=np.float64)
+    for k in range(num_edges):
+        bit = (indices >> (num_edges - 1 - k)) & 1
+        pattern_probs *= np.where(bit, rel_probs[k], rel_comp[k])
+
+    # Worlds of probability zero (some edge has p == 1 flagged blocked)
+    # contribute nothing; skip their BFS like the historical loop did.
+    feasible = np.nonzero(pattern_probs > 0.0)[0]
+    shifts = (num_edges - 1 - np.arange(num_edges, dtype=np.int64))
+
     total = 0.0
-    for pattern in itertools.product([False, True], repeat=relevant.size):
-        probability = 1.0
-        live_mask = np.zeros(base.m, dtype=bool)
-        for flag, edge_id in zip(pattern, relevant.tolist()):
-            p = probs[edge_id]
-            probability *= p if flag else (1.0 - p)
-            live_mask[edge_id] = flag
-        if probability == 0.0:
-            continue
-        world = Realization(base, live_mask)
-        total += probability * world.spread(seeds, view)
+    chunk = live_chunk_rows(int(feasible.size), base.m)
+    for start in range(0, int(feasible.size), chunk):
+        world_ids = feasible[start : start + chunk]
+        live = np.zeros((world_ids.size, base.m), dtype=bool)
+        if num_edges:
+            flags = ((world_ids[:, None] >> shifts[None, :]) & 1).astype(bool)
+            live[:, relevant] = flags
+        spreads = replay_live_edges(view, seeds, live)
+        total += float(np.dot(pattern_probs[world_ids], spreads))
     return total
 
 
@@ -78,18 +131,31 @@ def monte_carlo_spread(
     seeds: Iterable[int],
     num_simulations: int = 1000,
     random_state: RandomState = None,
+    backend: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    pool: Optional["SamplingPool"] = None,
 ) -> float:
-    """Monte-Carlo estimate of ``E[I(S)]`` from ``num_simulations`` cascades."""
+    """Monte-Carlo estimate of ``E[I(S)]`` from ``num_simulations`` cascades.
+
+    ``backend="python"`` (the resolved default) runs the historical
+    per-cascade loop on the exact historical RNG stream; ``"vectorized"``
+    runs the whole query as one batched sweep, sharded across ``n_jobs``
+    workers (or a held ``pool``) when requested — the batched result is
+    bit-for-bit independent of the worker count.
+    """
     if num_simulations <= 0:
         raise ValidationError("num_simulations must be positive")
     rng = ensure_rng(random_state)
     seeds = list(seeds)
     if not seeds:
         return 0.0
-    total = 0
-    for _ in range(num_simulations):
-        total += len(simulate_ic(graph, seeds, rng))
-    return total / num_simulations
+    if resolve_mc_backend(backend) == "python":
+        total = 0
+        for _ in range(num_simulations):
+            total += len(simulate_ic(graph, seeds, rng))
+        return total / num_simulations
+    batch = _dispatch_simulate(graph, seeds, num_simulations, rng, n_jobs, pool)
+    return batch.total_spread() / num_simulations
 
 
 def monte_carlo_spread_samples(
@@ -97,13 +163,19 @@ def monte_carlo_spread_samples(
     seeds: Sequence[int],
     num_simulations: int,
     random_state: RandomState = None,
+    backend: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    pool: Optional["SamplingPool"] = None,
 ) -> np.ndarray:
     """Return the individual spread samples (for variance / CI analysis)."""
     rng = ensure_rng(random_state)
-    samples = np.empty(num_simulations, dtype=np.float64)
-    for index in range(num_simulations):
-        samples[index] = len(simulate_ic(graph, seeds, rng))
-    return samples
+    if resolve_mc_backend(backend) == "python":
+        samples = np.empty(num_simulations, dtype=np.float64)
+        for index in range(num_simulations):
+            samples[index] = len(simulate_ic(graph, seeds, rng))
+        return samples
+    batch = _dispatch_simulate(graph, list(seeds), num_simulations, rng, n_jobs, pool)
+    return batch.spreads().astype(np.float64)
 
 
 def exact_marginal_spread(
@@ -127,12 +199,19 @@ def monte_carlo_marginal_spread(
     conditioning_set: Iterable[int],
     num_simulations: int = 1000,
     random_state: RandomState = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Monte-Carlo estimate of ``E[I_G(u | S)]`` using common random numbers.
 
     The same realization is used for the "with" and "without" cascades,
-    which greatly reduces the variance of the difference.
+    which greatly reduces the variance of the difference.  The vectorized
+    backend draws the realizations in bulk rows (the identical stream the
+    per-realization loop consumes) and replays both cascades of every
+    realization through the batched live-edge engine, so the two backends
+    return bit-for-bit identical estimates.
     """
+    from repro.diffusion.realization import Realization
+
     rng = ensure_rng(random_state)
     conditioning = [int(v) for v in conditioning_set]
     node = int(node)
@@ -140,13 +219,22 @@ def monte_carlo_marginal_spread(
         return 0.0
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     base = view.base
-    total = 0.0
-    for _ in range(num_simulations):
-        world = Realization.sample(base, rng)
-        with_node = world.spread(conditioning + [node], view)
-        without_node = world.spread(conditioning, view) if conditioning else 0
-        total += with_node - without_node
-    return total / num_simulations
+    if resolve_mc_backend(backend) == "python":
+        total = 0.0
+        for _ in range(num_simulations):
+            world = Realization.sample(base, rng)
+            with_node = world.spread(conditioning + [node], view)
+            without_node = world.spread(conditioning, view) if conditioning else 0
+            total += with_node - without_node
+        return total / num_simulations
+
+    total_int = 0
+    for live in sample_live_chunks(rng, base.out_csr()[2], num_simulations):
+        with_spreads = replay_live_edges(view, conditioning + [node], live)
+        total_int += int(with_spreads.sum())
+        if conditioning:
+            total_int -= int(replay_live_edges(view, conditioning, live).sum())
+    return total_int / num_simulations
 
 
 def expected_spread_lower_bound(
@@ -173,3 +261,24 @@ def expected_spread_lower_bound(
     z = z_values.get(round(confidence, 2), 1.6449)
     lower = mean - z * std_error
     return max(lower, float(samples.min()), 0.0)
+
+
+def _dispatch_simulate(
+    graph: ProbabilisticGraph | ResidualGraph,
+    seeds: Sequence[int],
+    count: int,
+    random_state: RandomState,
+    n_jobs: Optional[int],
+    pool: Optional["SamplingPool"],
+) -> MCBatch:
+    """Route one batched MC query through the pool / sharded / plain engine."""
+    from repro.parallel.pool import parallel_simulate_ic_batch, resolve_jobs
+
+    if pool is not None:
+        return pool.simulate(graph, seeds, count, random_state, backend="vectorized")
+    jobs = resolve_jobs(n_jobs)
+    if jobs is not None:
+        return parallel_simulate_ic_batch(
+            graph, seeds, count, random_state, backend="vectorized", n_jobs=jobs
+        )
+    return simulate_ic_batch(graph, seeds, count, random_state, backend="vectorized")

@@ -65,6 +65,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for RR-set generation (-1 = all cores; "
         "default: the REPRO_JOBS environment variable, else 1)",
     )
+    parser.add_argument(
+        "--mc-backend",
+        choices=["python", "vectorized"],
+        default=None,
+        help="forward Monte-Carlo backend for scoring seed sets against "
+        "realizations (default: the REPRO_MC_BACKEND environment variable, "
+        "else the historical per-cascade python loop)",
+    )
     parser.add_argument("--csv", default=None, help="write long-format rows to this CSV file")
     parser.add_argument(
         "--plot", action="store_true", help="also render each series as an ASCII chart"
@@ -80,6 +88,8 @@ def run_experiment(args: argparse.Namespace):
     scale = get_scale(args.scale)
     if args.jobs is not None:
         scale = scale.with_engine(n_jobs=args.jobs)
+    if args.mc_backend is not None:
+        scale = scale.with_engine(mc_backend=args.mc_backend)
     seed = args.seed
     if args.experiment == "table2":
         return reproduce_table2(scale, dataset_names=args.datasets, random_state=seed)

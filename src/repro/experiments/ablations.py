@@ -157,7 +157,9 @@ def adaptivity_ablation(
         ),
     )
     adaptive = evaluate_adaptive(hatp_spec, instance, realizations, rng)
-    nonadaptive = evaluate_nonadaptive(hntp_spec, instance, realizations, rng)
+    nonadaptive = evaluate_nonadaptive(
+        hntp_spec, instance, realizations, rng, mc_backend=engine.mc_backend
+    )
     return SeriesResult(
         experiment_id="ablation-adaptivity",
         title="Adaptive vs nonadaptive hybrid-error double greedy",

@@ -51,6 +51,12 @@ class EngineParameters:
     """Worker processes for RR-set generation (``None`` honours the
     ``REPRO_JOBS`` environment variable; ``-1`` uses all cores; sampled
     output is bit-for-bit independent of the value)."""
+    mc_backend: Optional[str] = None
+    """Forward Monte-Carlo simulation backend used when scoring seed sets
+    against evaluation realizations (``None`` honours the
+    ``REPRO_MC_BACKEND`` environment variable and defaults to the
+    historical per-cascade ``"python"`` loop; ``"vectorized"`` batch-replays
+    all realizations at once with identical outcomes)."""
 
     def nsg_ndg_samples(self) -> int:
         """Sample size for NSG/NDG: the largest batch HATP may generate."""

@@ -97,7 +97,9 @@ def hatp_vs_nonadaptive_selector(
             kind="fixed",
             factory=lambda inst, inner_rng: list(inst.target),
         )
-        selector_outcome = evaluate_nonadaptive(selector_spec, instance, realizations, rng)
+        selector_outcome = evaluate_nonadaptive(
+            selector_spec, instance, realizations, rng, mc_backend=engine.mc_backend
+        )
         selector_profits.append(selector_outcome.mean_profit)
 
     return SeriesResult(

@@ -55,7 +55,11 @@ def sweep_target_sizes(
             scale.engine, include_addatp=k <= scale.include_addatp_up_to_k
         )
         sweep[k] = evaluate_suite(
-            suite, instance, num_realizations=scale.num_realizations, random_state=rng
+            suite,
+            instance,
+            num_realizations=scale.num_realizations,
+            random_state=rng,
+            mc_backend=scale.engine.mc_backend,
         )
     return sweep
 

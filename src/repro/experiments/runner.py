@@ -26,10 +26,17 @@ from repro.baselines.random_set import AdaptiveRandomSet
 from repro.core.addatp import ADDATP
 from repro.core.hatp import HATP
 from repro.core.hntp import HNTP
+from repro.core.profit import total_cost
 from repro.core.results import NonadaptiveSelection, SeedingResult
 from repro.core.session import AdaptiveSession
 from repro.core.targets import TPMInstance
-from repro.diffusion.realization import BaseRealization, sample_realizations
+from repro.diffusion.mc_engine import resolve_mc_backend
+from repro.diffusion.realization import (
+    BaseRealization,
+    Realization,
+    batch_realization_spreads,
+    sample_realizations,
+)
 from repro.experiments.config import EngineParameters
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
@@ -131,8 +138,16 @@ def evaluate_nonadaptive(
     instance: TPMInstance,
     realizations: Sequence[BaseRealization],
     random_state: RandomState = None,
+    mc_backend: Optional[str] = None,
 ) -> AggregateOutcome:
-    """Select once on the full graph, then score against every realization."""
+    """Select once on the full graph, then score against every realization.
+
+    With ``mc_backend="vectorized"`` (or ``REPRO_MC_BACKEND=vectorized``)
+    and eagerly sampled realizations, the chosen seed set is scored against
+    *all* evaluation realizations in one batched live-edge replay instead
+    of one Python BFS per realization — replay is deterministic, so the
+    outcomes are element-for-element identical to the per-realization loop.
+    """
     rng = ensure_rng(random_state)
     algorithm = spec.factory(instance, rng)
     timer = Timer().start()
@@ -148,12 +163,30 @@ def evaluate_nonadaptive(
     timer.stop()
 
     profits, spreads, costs = [], [], []
-    for realization in realizations:
-        session = AdaptiveSession(instance.graph, realization, instance.costs)
-        outcome = session.evaluate_nonadaptive(seeds_chosen)
-        profits.append(outcome.profit)
-        spreads.append(outcome.spread)
-        costs.append(outcome.cost)
+    batched_replay = (
+        resolve_mc_backend(mc_backend) == "vectorized"
+        and len(realizations) > 0
+        and all(
+            isinstance(r, Realization) and r.graph is instance.graph
+            for r in realizations
+        )
+    )
+    if batched_replay:
+        replay_spreads = batch_realization_spreads(
+            list(realizations), [int(v) for v in seeds_chosen]
+        )
+        seed_cost = total_cost(instance.costs, seeds_chosen)
+        for spread in replay_spreads.tolist():
+            profits.append(float(spread) - seed_cost)
+            spreads.append(float(spread))
+            costs.append(seed_cost)
+    else:
+        for realization in realizations:
+            session = AdaptiveSession(instance.graph, realization, instance.costs)
+            outcome = session.evaluate_nonadaptive(seeds_chosen)
+            profits.append(outcome.profit)
+            spreads.append(outcome.spread)
+            costs.append(outcome.cost)
     return _aggregate(
         spec.name,
         profits,
@@ -170,8 +203,13 @@ def evaluate_suite(
     instance: TPMInstance,
     num_realizations: int,
     random_state: RandomState = None,
+    mc_backend: Optional[str] = None,
 ) -> Dict[str, AggregateOutcome]:
-    """Evaluate every algorithm of ``specs`` on shared realizations."""
+    """Evaluate every algorithm of ``specs`` on shared realizations.
+
+    ``mc_backend`` selects how nonadaptive seed sets are scored against the
+    evaluation realizations (see :func:`evaluate_nonadaptive`).
+    """
     rng = ensure_rng(random_state)
     realizations = sample_realizations(instance.graph, num_realizations, rng)
     outcomes: Dict[str, AggregateOutcome] = {}
@@ -179,7 +217,9 @@ def evaluate_suite(
         if spec.kind == "adaptive":
             outcomes[spec.name] = evaluate_adaptive(spec, instance, realizations, rng)
         else:
-            outcomes[spec.name] = evaluate_nonadaptive(spec, instance, realizations, rng)
+            outcomes[spec.name] = evaluate_nonadaptive(
+                spec, instance, realizations, rng, mc_backend=mc_backend
+            )
     return outcomes
 
 

@@ -73,8 +73,12 @@ def sample_size_scaling(
                 n_jobs=scale.engine.n_jobs,
             ),
         )
-        nsg_outcome = evaluate_nonadaptive(nsg_spec, instance, realizations, rng)
-        ndg_outcome = evaluate_nonadaptive(ndg_spec, instance, realizations, rng)
+        nsg_outcome = evaluate_nonadaptive(
+            nsg_spec, instance, realizations, rng, mc_backend=scale.engine.mc_backend
+        )
+        ndg_outcome = evaluate_nonadaptive(
+            ndg_spec, instance, realizations, rng, mc_backend=scale.engine.mc_backend
+        )
         nsg_profit.append(nsg_outcome.mean_profit)
         nsg_runtime.append(nsg_outcome.selection_runtime_seconds)
         ndg_profit.append(ndg_outcome.mean_profit)

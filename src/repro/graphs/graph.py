@@ -252,6 +252,17 @@ class ProbabilisticGraph:
         """
         return self._in_offsets, self._in_sources, self._in_probs
 
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw outgoing CSR ``(offsets, targets, probabilities)`` (no copies; do not mutate).
+
+        The forward twin of :meth:`in_csr`: the batched Monte-Carlo engine
+        (:mod:`repro.diffusion.mc_engine`) sweeps whole frontiers of
+        out-neighbourhoods at once.  Positions in these arrays are the
+        canonical edge ids (the ones :class:`repro.diffusion.realization.
+        Realization` keys its live mask on).
+        """
+        return self._out_offsets, self._out_targets, self._out_probs
+
     def out_degree(self, node: int) -> int:
         """Number of outgoing edges of ``node``."""
         return int(self._out_offsets[node + 1] - self._out_offsets[node])

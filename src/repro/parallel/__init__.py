@@ -4,9 +4,12 @@ RR-set generation is embarrassingly parallel — independent roots,
 independent coin flips — so this package scales the vectorized engine of
 :mod:`repro.sampling.engine` across cores without changing its output:
 
-* :mod:`repro.parallel.broker` — publishes a graph's incoming CSR (and the
-  residual view's active mask) into ``multiprocessing.shared_memory`` once
-  per graph; workers attach zero-copy.
+* :mod:`repro.parallel.broker` — publishes a graph's incoming *and*
+  outgoing CSR (and the residual view's active mask) into
+  ``multiprocessing.shared_memory`` once per graph; workers attach
+  zero-copy.  The incoming direction feeds reverse RR sampling, the
+  outgoing direction feeds batched forward Monte-Carlo simulation
+  (:meth:`~repro.parallel.pool.SamplingPool.simulate`).
 * :mod:`repro.parallel.seeds` — the deterministic shard layout (a pure
   function of the batch size) and per-shard RNG streams derived with
   ``SeedSequence.spawn``; together they make the merged batch a pure
@@ -33,6 +36,7 @@ from repro.parallel.pool import (
     SamplingPool,
     available_cpus,
     parallel_generate_rr_batch,
+    parallel_simulate_ic_batch,
     resolve_jobs,
 )
 from repro.parallel.seeds import (
@@ -52,6 +56,7 @@ __all__ = [
     "available_cpus",
     "default_shard_size",
     "parallel_generate_rr_batch",
+    "parallel_simulate_ic_batch",
     "resolve_jobs",
     "shard_layout",
     "spawn_shard_states",

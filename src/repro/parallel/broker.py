@@ -1,9 +1,11 @@
 """Shared-memory graph broker: publish a graph's CSR once, attach zero-copy.
 
 RR-set generation reads three immutable arrays — the incoming CSR
-``(offsets, sources, probabilities)`` of the base graph — plus one small
-mutable array, the residual view's boolean ``active`` mask.  Shipping those
-through pickle on every task would copy the whole graph per shard;
+``(offsets, sources, probabilities)`` of the base graph — and batched
+forward Monte-Carlo simulation reads the mirror-image outgoing CSR
+``(offsets, targets, probabilities)``; both share one small mutable array,
+the residual view's boolean ``active`` mask.  Shipping those through pickle
+on every task would copy the whole graph per shard;
 :class:`SharedGraphBroker` instead publishes them into POSIX shared memory
 *once per graph*:
 
@@ -41,8 +43,26 @@ import numpy as np
 from repro.graphs.graph import ProbabilisticGraph
 from repro.utils.exceptions import ValidationError
 
-#: Keys of the arrays a broker publishes, in publication order.
-SHARED_ARRAY_KEYS = ("in_offsets", "in_sources", "in_probs", "active_mask")
+#: All array keys a broker may publish, in publication order.  The
+#: incoming CSR feeds reverse RR-set sampling, the outgoing CSR feeds the
+#: batched forward Monte-Carlo engine; a broker publishes only the
+#: requested directions (plus the mask), so RR-only pools keep their
+#: historical shared-memory footprint.
+SHARED_ARRAY_KEYS = (
+    "in_offsets",
+    "in_sources",
+    "in_probs",
+    "out_offsets",
+    "out_targets",
+    "out_probs",
+    "active_mask",
+)
+
+#: CSR array keys per direction.
+DIRECTION_KEYS = {
+    "in": ("in_offsets", "in_sources", "in_probs"),
+    "out": ("out_offsets", "out_targets", "out_probs"),
+}
 
 
 @dataclass(frozen=True)
@@ -85,25 +105,48 @@ class SharedGraphBroker:
     Parameters
     ----------
     base:
-        The immutable base graph whose incoming CSR is published.  The
+        The immutable base graph whose CSR indexes are published.  The
         active mask segment starts all-active; callers update it through
         :meth:`set_mask` before dispatching work.
+    directions:
+        Which CSR directions to publish: ``"in"`` (reverse RR sampling),
+        ``"out"`` (forward Monte-Carlo simulation), or both.  Publishing
+        only the direction a pool actually uses keeps RR-only workloads at
+        their pre-forward-engine shared-memory footprint.
     """
 
-    def __init__(self, base: ProbabilisticGraph) -> None:
+    def __init__(
+        self,
+        base: ProbabilisticGraph,
+        directions: Tuple[str, ...] = ("in", "out"),
+    ) -> None:
+        for direction in directions:
+            if direction not in DIRECTION_KEYS:
+                raise ValidationError(
+                    f"unknown CSR direction {direction!r}; available: in, out"
+                )
+        if not directions:
+            raise ValidationError("at least one CSR direction must be published")
         self._base = base
         self._segments: List[shared_memory.SharedMemory] = []
         self._views: Dict[str, np.ndarray] = {}
         specs: Dict[str, SharedArraySpec] = {}
-        in_offsets, in_sources, in_probs = base.in_csr()
-        arrays = {
-            "in_offsets": in_offsets,
-            "in_sources": in_sources,
-            "in_probs": in_probs,
-            "active_mask": np.ones(base.n, dtype=bool),
-        }
+        arrays: Dict[str, np.ndarray] = {}
+        if "in" in directions:
+            in_offsets, in_sources, in_probs = base.in_csr()
+            arrays.update(
+                in_offsets=in_offsets, in_sources=in_sources, in_probs=in_probs
+            )
+        if "out" in directions:
+            out_offsets, out_targets, out_probs = base.out_csr()
+            arrays.update(
+                out_offsets=out_offsets, out_targets=out_targets, out_probs=out_probs
+            )
+        arrays["active_mask"] = np.ones(base.n, dtype=bool)
         try:
             for key in SHARED_ARRAY_KEYS:
+                if key not in arrays:
+                    continue
                 array = np.ascontiguousarray(arrays[key])
                 segment = shared_memory.SharedMemory(
                     create=True, size=max(array.nbytes, 1)
@@ -170,28 +213,44 @@ class SharedGraphBroker:
 
 
 class SharedCSRGraph:
-    """The base-graph interface slice the sampling engine needs.
+    """The base-graph interface slice the sampling and MC engines need.
 
     Duck-types :class:`~repro.graphs.graph.ProbabilisticGraph` for RR-set
-    generation: ``n``, ``m``, ``in_csr()`` and ``in_neighbors()`` over
-    arrays that live in attached shared memory.
+    generation (``in_csr()`` / ``in_neighbors()``) and for batched forward
+    simulation (``out_csr()`` / ``out_neighbors()``) over arrays that live
+    in attached shared memory.
     """
 
-    __slots__ = ("_n", "_m", "_in_offsets", "_in_sources", "_in_probs")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_in_offsets",
+        "_in_sources",
+        "_in_probs",
+        "_out_offsets",
+        "_out_targets",
+        "_out_probs",
+    )
 
     def __init__(
         self,
         n: int,
         m: int,
-        in_offsets: np.ndarray,
-        in_sources: np.ndarray,
-        in_probs: np.ndarray,
+        in_offsets: Optional[np.ndarray] = None,
+        in_sources: Optional[np.ndarray] = None,
+        in_probs: Optional[np.ndarray] = None,
+        out_offsets: Optional[np.ndarray] = None,
+        out_targets: Optional[np.ndarray] = None,
+        out_probs: Optional[np.ndarray] = None,
     ) -> None:
         self._n = int(n)
         self._m = int(m)
         self._in_offsets = in_offsets
         self._in_sources = in_sources
         self._in_probs = in_probs
+        self._out_offsets = out_offsets
+        self._out_targets = out_targets
+        self._out_probs = out_probs
 
     @property
     def n(self) -> int:
@@ -205,14 +264,39 @@ class SharedCSRGraph:
 
     def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Raw incoming CSR ``(offsets, sources, probabilities)`` (shared; do not mutate)."""
+        if self._in_offsets is None:
+            raise ValidationError(
+                "the incoming CSR was not published for this graph "
+                "(broker directions did not include 'in')"
+            )
         return self._in_offsets, self._in_sources, self._in_probs
+
+    def out_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw outgoing CSR ``(offsets, targets, probabilities)`` (shared; do not mutate)."""
+        if self._out_offsets is None:
+            raise ValidationError(
+                "the outgoing CSR was not published for this graph "
+                "(broker directions did not include 'out')"
+            )
+        return self._out_offsets, self._out_targets, self._out_probs
 
     def in_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(sources, probabilities, csr_positions)`` of ``node``'s in-edges."""
+        self.in_csr()
         start, end = self._in_offsets[node], self._in_offsets[node + 1]
         return (
             self._in_sources[start:end],
             self._in_probs[start:end],
+            np.arange(start, end, dtype=np.int64),
+        )
+
+    def out_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(targets, probabilities, edge_ids)`` of ``node``'s out-edges."""
+        self.out_csr()
+        start, end = self._out_offsets[node], self._out_offsets[node + 1]
+        return (
+            self._out_targets[start:end],
+            self._out_probs[start:end],
             np.arange(start, end, dtype=np.int64),
         )
 
@@ -272,6 +356,12 @@ class SharedResidualView:
         keep = self._active[sources]
         return sources[keep], probs[keep], positions[keep]
 
+    def out_neighbors(self, node: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Active out-neighbours of ``node`` as ``(targets, probs, edge_ids)``."""
+        targets, probs, edge_ids = self._base.out_neighbors(node)
+        keep = self._active[targets]
+        return targets[keep], probs[keep], edge_ids[keep]
+
 
 def attach_shared_graph(
     spec: SharedGraphSpec,
@@ -288,6 +378,8 @@ def attach_shared_graph(
     arrays: Dict[str, np.ndarray] = {}
     try:
         for key in SHARED_ARRAY_KEYS:
+            if key not in spec.arrays:
+                continue
             array_spec = spec.arrays[key]
             segment = shared_memory.SharedMemory(name=array_spec.name)
             handles.append(segment)
@@ -302,6 +394,13 @@ def attach_shared_graph(
                 pass
         raise
     graph = SharedCSRGraph(
-        spec.n, spec.m, arrays["in_offsets"], arrays["in_sources"], arrays["in_probs"]
+        spec.n,
+        spec.m,
+        in_offsets=arrays.get("in_offsets"),
+        in_sources=arrays.get("in_sources"),
+        in_probs=arrays.get("in_probs"),
+        out_offsets=arrays.get("out_offsets"),
+        out_targets=arrays.get("out_targets"),
+        out_probs=arrays.get("out_probs"),
     )
     return graph, arrays["active_mask"], handles

@@ -48,6 +48,11 @@ from repro.parallel.broker import (
     SharedResidualView,
     attach_shared_graph,
 )
+from repro.diffusion.mc_engine import (
+    MCBatch,
+    merge_mc_batches,
+    simulate_ic_batch,
+)
 from repro.parallel.seeds import shard_layout, shard_roots, spawn_shard_states
 from repro.sampling.engine import RRBatch, generate_rr_batch, merge_rr_batches
 from repro.utils.exceptions import ValidationError
@@ -118,6 +123,13 @@ def _worker_generate(count, random_state, backend, roots):
     return batch.offsets, batch.nodes, batch.num_active_nodes, batch.n
 
 
+def _worker_simulate(seeds, count, random_state, backend):
+    """Run one forward-MC shard against the shared outgoing CSR."""
+    view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
+    batch = simulate_ic_batch(view, seeds, count, random_state, backend=backend)
+    return batch.offsets, batch.nodes, batch.n
+
+
 # --------------------------------------------------------------------- #
 # parent side
 # --------------------------------------------------------------------- #
@@ -143,6 +155,13 @@ class SamplingPool:
     start_method:
         Multiprocessing start method; defaults to ``"fork"`` where
         available (cheap on Linux), else ``"spawn"``.
+    directions:
+        Which CSR directions the pool publishes to its workers: ``"in"``
+        enables :meth:`generate` (reverse RR sampling), ``"out"`` enables
+        :meth:`simulate` (forward Monte-Carlo).  Defaults to ``("in",)`` —
+        the historical RR-only footprint, so existing pools never pay for
+        the outgoing CSR; forward-MC callers pass ``("out",)`` (or both
+        for a dual-workload pool).
     """
 
     def __init__(
@@ -151,15 +170,25 @@ class SamplingPool:
         n_jobs: Optional[int] = None,
         shard_size: Optional[int] = None,
         start_method: Optional[str] = None,
+        directions: tuple = ("in",),
     ) -> None:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         self._base = view.base
         self._jobs = resolve_jobs(n_jobs) or 1
         self._shard_size = shard_size
         self._start_method = start_method
+        self._directions = tuple(directions)
         self._broker: Optional[SharedGraphBroker] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+
+    def _require_direction(self, direction: str, method: str) -> None:
+        if direction not in self._directions:
+            raise ValidationError(
+                f"this SamplingPool publishes directions {self._directions}; "
+                f"{method}() needs the {direction!r} CSR — construct the pool "
+                f"with directions including {direction!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -191,7 +220,7 @@ class SamplingPool:
         if method is None:
             methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in methods else "spawn"
-        self._broker = SharedGraphBroker(self._base)
+        self._broker = SharedGraphBroker(self._base, directions=self._directions)
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._jobs,
@@ -242,6 +271,7 @@ class SamplingPool:
         """
         if self._closed:
             raise ValidationError("SamplingPool is closed")
+        self._require_direction("in", "generate")
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         if view.base is not self._base:
             raise ValidationError(
@@ -293,6 +323,68 @@ class SamplingPool:
             raise
         return merge_rr_batches(batches)
 
+    def simulate(
+        self,
+        graph: ProbabilisticGraph | ResidualGraph,
+        seeds: Sequence[int],
+        count: int,
+        random_state: RandomState = None,
+        backend: str = "vectorized",
+    ) -> MCBatch:
+        """Run ``count`` forward IC cascades from ``seeds`` across the pool.
+
+        The forward twin of :meth:`generate`, sharded under the exact same
+        determinism contract: the shard layout is a pure function of
+        ``count``, shard ``i`` always runs with spawned RNG stream ``i``,
+        and shards merge in shard order — so the merged batch is bit-for-bit
+        independent of ``n_jobs``, and ``n_jobs=1`` runs the identical
+        sharded loop in-process.
+        """
+        if self._closed:
+            raise ValidationError("SamplingPool is closed")
+        self._require_direction("out", "simulate")
+        view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
+        if view.base is not self._base:
+            raise ValidationError(
+                "this SamplingPool was built for a different base graph"
+            )
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        seed_tuple = tuple(int(s) for s in seeds)
+        if count == 0:
+            return simulate_ic_batch(view, seed_tuple, 0, random_state, backend=backend)
+
+        layout = shard_layout(count, self._shard_size)
+        states = spawn_shard_states(random_state, len(layout))
+
+        if self._jobs == 1 or len(layout) == 1:
+            batches = [
+                simulate_ic_batch(
+                    view, seed_tuple, stop - start, state, backend=backend
+                )
+                for (start, stop), state in zip(layout, states)
+            ]
+            return merge_mc_batches(batches)
+
+        self._ensure_workers()
+        self._broker.set_mask(view.active_mask)
+        futures = [
+            self._executor.submit(
+                _worker_simulate, seed_tuple, stop - start, state, backend
+            )
+            for (start, stop), state in zip(layout, states)
+        ]
+        batches: List[MCBatch] = []
+        try:
+            for future in futures:
+                offsets, nodes, n = future.result()
+                batches.append(MCBatch(offsets=offsets, nodes=nodes, n=n))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return merge_mc_batches(batches)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self.running else ("closed" if self._closed else "idle")
         return f"<SamplingPool jobs={self._jobs} {state} on {self._base!r}>"
@@ -315,7 +407,32 @@ def parallel_generate_rr_batch(
     paying worker start-up per call.
     """
     jobs = resolve_jobs(n_jobs) or 1
-    with SamplingPool(graph, n_jobs=jobs, shard_size=shard_size) as pool:
+    with SamplingPool(
+        graph, n_jobs=jobs, shard_size=shard_size, directions=("in",)
+    ) as pool:
         return pool.generate(
             graph, count, random_state, backend=backend, roots=roots
         )
+
+
+def parallel_simulate_ic_batch(
+    graph: ProbabilisticGraph | ResidualGraph,
+    seeds: Sequence[int],
+    count: int,
+    random_state: RandomState = None,
+    backend: str = "vectorized",
+    n_jobs: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> MCBatch:
+    """One-shot sharded forward simulation (ephemeral pool when ``n_jobs > 1``).
+
+    Convenience wrapper over :meth:`SamplingPool.simulate` for callers that
+    run a single Monte-Carlo batch.  Repeated samplers (spread oracles, the
+    experiment drivers) should hold a pool open instead of paying worker
+    start-up per query.
+    """
+    jobs = resolve_jobs(n_jobs) or 1
+    with SamplingPool(
+        graph, n_jobs=jobs, shard_size=shard_size, directions=("out",)
+    ) as pool:
+        return pool.simulate(graph, seeds, count, random_state, backend=backend)

@@ -7,7 +7,13 @@ the batch as flat int64 arrays:
 
 * ``(offsets, nodes)``: CSR over RR-set ids (set ``i`` is
   ``nodes[offsets[i]:offsets[i+1]]``), exactly the layout produced by
-  :func:`repro.sampling.engine.generate_rr_batch`;
+  :func:`repro.sampling.engine.generate_rr_batch`.  Node entries are
+  stored as ``uint32`` whenever the node-id universe fits (``n < 2**32``,
+  which is every realistic graph), halving the collection's member-storage
+  footprint; offsets stay ``int64`` (total member counts can exceed 32
+  bits).  The dtype is stable across ``extend`` / ``extend_generate`` and
+  the parallel pool's merge path, and transparently upcasts to ``int64``
+  should the universe ever outgrow ``uint32`` (the overflow guard);
 * an inverted CSR index ``node -> rr_ids``, so coverage queries are array
   gathers plus boolean-mask arithmetic instead of Python ``dict``/``set``
   traversals.
@@ -61,9 +67,11 @@ class FlatRRCollection:
         if batch.num_active_nodes < 0:
             raise ValidationError("num_active_nodes must be >= 0")
         self._offsets = np.asarray(batch.offsets, dtype=np.int64)
-        self._nodes = np.asarray(batch.nodes, dtype=np.int64)
         self._num_active_nodes = int(batch.num_active_nodes)
         self._n = int(batch.n)
+        self._nodes = np.asarray(batch.nodes).astype(
+            _node_storage_dtype(self._n), copy=False
+        )
         self._pending: List[RRBatch] = []
         self._inv_offsets: Optional[np.ndarray] = None
         self._inv_rr_ids: Optional[np.ndarray] = None
@@ -154,6 +162,12 @@ class FlatRRCollection:
         self.extend(batch)
 
     def _consolidate(self) -> None:
+        # The node dtype follows the (possibly grown) universe: downsized
+        # storage upcasts to int64 if `extend` ever pushed `n` past the
+        # uint32 range — the overflow guard of the compact representation.
+        dtype = _node_storage_dtype(self._n)
+        if self._nodes.dtype != dtype:
+            self._nodes = self._nodes.astype(dtype)
         if not self._pending:
             return
         offsets_parts = [self._offsets]
@@ -161,7 +175,7 @@ class FlatRRCollection:
         last_offset = int(self._offsets[-1])
         for batch in self._pending:
             offsets_parts.append(last_offset + batch.offsets[1:])
-            nodes_parts.append(np.asarray(batch.nodes, dtype=np.int64))
+            nodes_parts.append(np.asarray(batch.nodes).astype(dtype, copy=False))
             last_offset += int(batch.offsets[-1])
         self._offsets = np.concatenate(offsets_parts)
         self._nodes = np.concatenate(nodes_parts)
@@ -380,6 +394,16 @@ class FlatRRCollection:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FlatRRCollection sets={self.num_sets} n_i={self._num_active_nodes}>"
+
+
+def _node_storage_dtype(n: int) -> np.dtype:
+    """Member-storage dtype for a node-id universe of size ``n``.
+
+    ``uint32`` halves the flat member arrays whenever every node id fits;
+    the int64 fallback is the overflow guard for (hypothetical) universes
+    beyond ``2**32`` ids.
+    """
+    return np.dtype(np.uint32) if 0 <= n < 2**32 else np.dtype(np.int64)
 
 
 def _as_node_array(nodes: Iterable[int]) -> np.ndarray:

@@ -56,6 +56,36 @@ class TestPublishAttach:
                 for handle in handles:
                     handle.close()
 
+    def test_direction_aware_publication(self, published_graph):
+        from repro.utils.exceptions import ValidationError as VE
+
+        with SharedGraphBroker(published_graph, directions=("in",)) as broker:
+            assert "out_offsets" not in broker.spec.arrays
+            graph, mask, handles = attach_shared_graph(broker.spec)
+            try:
+                graph.in_csr()  # available
+                with pytest.raises(VE):
+                    graph.out_csr()
+                with pytest.raises(VE):
+                    graph.out_neighbors(0)
+            finally:
+                del graph, mask
+                for handle in handles:
+                    handle.close()
+        with SharedGraphBroker(published_graph, directions=("out",)) as broker:
+            assert "in_offsets" not in broker.spec.arrays
+            graph, mask, handles = attach_shared_graph(broker.spec)
+            try:
+                graph.out_csr()
+                with pytest.raises(VE):
+                    graph.in_csr()
+            finally:
+                del graph, mask
+                for handle in handles:
+                    handle.close()
+        with pytest.raises(VE):
+            SharedGraphBroker(published_graph, directions=("sideways",))
+
     def test_set_mask_validates_shape(self, published_graph):
         with SharedGraphBroker(published_graph) as broker:
             with pytest.raises(ValidationError):

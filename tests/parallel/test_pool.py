@@ -39,9 +39,11 @@ def view(graph):
 
 @pytest.fixture(scope="module")
 def worker_pool(graph):
-    """One persistent 2-worker pool shared by the differential tests
-    (worker start-up is the expensive part on CI machines)."""
-    with SamplingPool(graph, n_jobs=2, shard_size=64) as pool:
+    """One persistent dual-workload 2-worker pool shared by the
+    differential tests (worker start-up is the expensive part on CI
+    machines); publishes both CSR directions so the forward-simulate
+    tests can reuse it."""
+    with SamplingPool(graph, n_jobs=2, shard_size=64, directions=("in", "out")) as pool:
         yield pool
 
 
@@ -187,6 +189,52 @@ class TestLifecycle:
         assert len(batch) == 100
         assert batch.nodes.size == 0
         assert batch.num_active_nodes == 0
+
+
+class TestForwardSimulate:
+    """The forward-MC twin of generate: same shard/seed determinism contract."""
+
+    def test_pool_matches_in_process_bit_for_bit(self, view, worker_pool):
+        seeds = [100, 200, 300]
+        with SamplingPool(
+            view, n_jobs=1, shard_size=64, directions=("out",)
+        ) as serial:
+            expected = serial.simulate(view, seeds, 400, 7)
+        actual = worker_pool.simulate(view, seeds, 400, 7)
+        assert np.array_equal(expected.offsets, actual.offsets)
+        assert np.array_equal(expected.nodes, actual.nodes)
+
+    def test_python_backend_through_pool(self, view, worker_pool):
+        seeds = [100, 200]
+        fast = worker_pool.simulate(view, seeds, 150, 5, backend="vectorized")
+        reference = worker_pool.simulate(view, seeds, 150, 5, backend="python")
+        assert np.array_equal(fast.offsets, reference.offsets)
+        assert np.array_equal(fast.nodes, reference.nodes)
+
+    def test_residual_mask_respected_in_workers(self, graph, worker_pool):
+        # Seeds inactive in the view must activate nothing, even when the
+        # simulation runs against the shared-memory mask in a worker.
+        view = ResidualGraph(graph).without(range(200))
+        batch = worker_pool.simulate(view, [10, 50], 130, 3)
+        assert batch.total_spread() == 0
+
+    def test_count_zero_and_foreign_graph(self, graph, view, worker_pool):
+        assert len(worker_pool.simulate(view, [100], 0, 0)) == 0
+        other = weighted_cascade(generators.barabasi_albert(50, 2, random_state=1))
+        with pytest.raises(ValidationError):
+            worker_pool.simulate(other, [0], 10, 0)
+
+    def test_single_direction_pools_reject_other_workload(self, graph):
+        # RR-only pools never publish (or pay for) the outgoing CSR, and
+        # the direction mismatch is a loud error rather than a worker crash.
+        with SamplingPool(graph, n_jobs=1, directions=("in",)) as rr_only:
+            rr_only.generate(graph, 10, 0)
+            with pytest.raises(ValidationError):
+                rr_only.simulate(graph, [0], 10, 0)
+        with SamplingPool(graph, n_jobs=1, directions=("out",)) as mc_only:
+            mc_only.simulate(graph, [0], 10, 0)
+            with pytest.raises(ValidationError):
+                mc_only.generate(graph, 10, 0)
 
 
 class TestOracleIntegration:
