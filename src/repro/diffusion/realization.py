@@ -107,9 +107,15 @@ class Realization(BaseRealization):
     def sample(
         cls, graph: ProbabilisticGraph, random_state: RandomState = None
     ) -> "Realization":
-        """Sample a realization: edge ``e`` is live with probability ``p(e)``."""
+        """Sample a realization: edge ``e`` is live with probability ``p(e)``.
+
+        Reads the graph's cached probability array directly — sampling
+        needs only the probability column, not the three ``O(m)`` copies
+        ``edge_array()`` materializes.  The draws are unchanged, so
+        sampled worlds are bit-for-bit the historical ones.
+        """
         rng = ensure_rng(random_state)
-        _, _, probs = graph.edge_array()
+        probs = graph.edge_probabilities
         live = rng.random(graph.m) < probs if graph.m else np.zeros(0, dtype=bool)
         return cls(graph, live)
 
@@ -167,21 +173,60 @@ class LazyRealization(BaseRealization):
     The sampled states are memoised, so repeated queries are consistent —
     the defining property a realization needs for adaptive seeding, where
     the same edge may be examined in several iterations.
+
+    Two sampling granularities:
+
+    * ``batch_flip=False`` (default) — one Python-level Bernoulli draw per
+      edge on first inspection, the exact historical stream.
+    * ``batch_flip=True`` — on the first touch of any edge, the whole
+      out-neighbour slice of its source node is flipped with a single
+      vectorized draw and memoised.  Diffusion inspects edges source by
+      source (a BFS pops a node, then examines all its out-edges), so
+      batching converts ``out_degree`` generator calls into one array
+      call while keeping per-edge memoized consistency.  Every edge is
+      still an independent ``p(e)`` Bernoulli — the distribution over
+      worlds is identical — but randomness is consumed in a different
+      order, so the sampled world for a given seed differs from the
+      per-edge mode (which is why the knob defaults to off).
     """
 
-    __slots__ = ("graph", "_rng", "_states")
+    __slots__ = ("graph", "_rng", "_states", "_batch_flip", "_live", "_flipped", "_num_sampled")
 
-    def __init__(self, graph: ProbabilisticGraph, random_state: RandomState = None) -> None:
+    def __init__(
+        self,
+        graph: ProbabilisticGraph,
+        random_state: RandomState = None,
+        batch_flip: bool = False,
+    ) -> None:
         self.graph = graph
         self._rng = ensure_rng(random_state)
+        self._batch_flip = bool(batch_flip)
         self._states: dict[int, bool] = {}
+        self._live: Optional[np.ndarray] = None
+        self._flipped: Optional[np.ndarray] = None
+        self._num_sampled = 0
 
     def is_live(self, edge_id: int) -> bool:
+        if self._batch_flip:
+            return self._is_live_batched(edge_id)
         state = self._states.get(edge_id)
         if state is None:
             state = self._flip(edge_id)
             self._states[edge_id] = state
         return state
+
+    def _is_live_batched(self, edge_id: int) -> bool:
+        if self._live is None:
+            self._live = np.zeros(self.graph.m, dtype=bool)
+            self._flipped = np.zeros(self.graph.n, dtype=bool)
+        source = int(self.graph.edge_sources[edge_id])
+        if not self._flipped[source]:
+            offsets, _, probs = self.graph.out_csr()
+            start, end = int(offsets[source]), int(offsets[source + 1])
+            self._live[start:end] = self._rng.random(end - start) < probs[start:end]
+            self._flipped[source] = True
+            self._num_sampled += end - start
+        return bool(self._live[edge_id])
 
     def _flip(self, edge_id: int) -> bool:
         probability = self._edge_probability(edge_id)
@@ -189,11 +234,13 @@ class LazyRealization(BaseRealization):
 
     def _edge_probability(self, edge_id: int) -> float:
         # Edge ids index the outgoing CSR directly.
-        return float(self.graph._out_probs[edge_id])  # noqa: SLF001 - intentional fast path
+        return float(self.graph.edge_probabilities[edge_id])
 
     @property
     def num_sampled_edges(self) -> int:
         """How many edge states have been materialised so far."""
+        if self._batch_flip:
+            return self._num_sampled
         return len(self._states)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -246,15 +293,17 @@ def sample_realizations(
     count: int,
     random_state: RandomState = None,
     lazy: bool = False,
+    batch_flip: bool = False,
 ) -> list[BaseRealization]:
     """Sample ``count`` independent realizations of ``graph``.
 
     The paper's experiments average every algorithm over 20 sampled
     realizations (Section VI-A); this helper builds that family
-    reproducibly.
+    reproducibly.  ``batch_flip`` selects the vectorized flip granularity
+    of :class:`LazyRealization` (ignored for eager realizations).
     """
     rng = ensure_rng(random_state)
     children = rng.spawn(count)
     if lazy:
-        return [LazyRealization(graph, child) for child in children]
+        return [LazyRealization(graph, child, batch_flip=batch_flip) for child in children]
     return [Realization.sample(graph, child) for child in children]

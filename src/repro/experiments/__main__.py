@@ -66,6 +66,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "default: the REPRO_JOBS environment variable, else 1)",
     )
     parser.add_argument(
+        "--eval-jobs",
+        type=int,
+        default=None,
+        help="worker processes for whole-session evaluation: complete "
+        "adaptive runs fan out across realizations (-1 = all cores; "
+        "outcomes are independent of the worker count; default: the "
+        "REPRO_EVAL_JOBS environment variable, else the historical "
+        "sequential loop)",
+    )
+    parser.add_argument(
         "--mc-backend",
         choices=["python", "vectorized"],
         default=None,
@@ -88,6 +98,8 @@ def run_experiment(args: argparse.Namespace):
     scale = get_scale(args.scale)
     if args.jobs is not None:
         scale = scale.with_engine(n_jobs=args.jobs)
+    if args.eval_jobs is not None:
+        scale = scale.with_engine(eval_jobs=args.eval_jobs)
     if args.mc_backend is not None:
         scale = scale.with_engine(mc_backend=args.mc_backend)
     seed = args.seed

@@ -18,19 +18,22 @@ paper's headline results:
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
 from typing import Dict, Optional
 
-from repro.core.addatp import ADDATP
-from repro.core.hatp import HATP
-from repro.core.hntp import HNTP
 from repro.core.targets import build_spread_calibrated_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AlgorithmSpec,
+    _make_addatp,
+    _make_hatp,
+    _make_hntp,
     evaluate_adaptive,
     evaluate_nonadaptive,
+    shared_eval_pool,
 )
 from repro.graphs import datasets as dataset_registry
 from repro.utils.rng import RandomState, ensure_rng
@@ -70,34 +73,30 @@ def error_mode_ablation(
         dataset, k, cost_setting, scale, random_state
     )
     engine = scale.engine
+    jobs = engine.sampling_jobs()
     hatp_spec = AlgorithmSpec(
-        name="HATP",
-        kind="adaptive",
-        factory=lambda inst, inner_rng: HATP(
-            inst.target,
-            epsilon=engine.epsilon,
-            epsilon0=engine.epsilon0,
-            initial_scaled_error=engine.initial_scaled_error,
-            max_rounds=engine.max_rounds,
-            max_samples_per_round=engine.max_samples_per_round,
-            random_state=inner_rng,
-            n_jobs=engine.n_jobs,
-        ),
+        name="HATP", kind="adaptive", factory=partial(_make_hatp, engine, jobs)
     )
     addatp_spec = AlgorithmSpec(
-        name="ADDATP",
-        kind="adaptive",
-        factory=lambda inst, inner_rng: ADDATP(
-            inst.target,
-            initial_scaled_error=engine.initial_scaled_error,
-            max_rounds=engine.addatp_max_rounds,
-            max_samples_per_round=engine.addatp_max_samples_per_round,
-            random_state=inner_rng,
-            n_jobs=engine.n_jobs,
-        ),
+        name="ADDATP", kind="adaptive", factory=partial(_make_addatp, engine, jobs)
     )
-    hatp = evaluate_adaptive(hatp_spec, instance, realizations, rng)
-    addatp = evaluate_adaptive(addatp_spec, instance, realizations, rng)
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        hatp = evaluate_adaptive(
+            hatp_spec,
+            instance,
+            realizations,
+            rng,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
+        addatp = evaluate_adaptive(
+            addatp_spec,
+            instance,
+            realizations,
+            rng,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
     return SeriesResult(
         experiment_id="ablation-error-mode",
         title="Hybrid vs additive sampling error",
@@ -128,38 +127,31 @@ def adaptivity_ablation(
         dataset, k, cost_setting, scale, random_state
     )
     engine = scale.engine
+    jobs = engine.sampling_jobs()
     hatp_spec = AlgorithmSpec(
-        name="HATP",
-        kind="adaptive",
-        factory=lambda inst, inner_rng: HATP(
-            inst.target,
-            epsilon=engine.epsilon,
-            epsilon0=engine.epsilon0,
-            initial_scaled_error=engine.initial_scaled_error,
-            max_rounds=engine.max_rounds,
-            max_samples_per_round=engine.max_samples_per_round,
-            random_state=inner_rng,
-            n_jobs=engine.n_jobs,
-        ),
+        name="HATP", kind="adaptive", factory=partial(_make_hatp, engine, jobs)
     )
     hntp_spec = AlgorithmSpec(
-        name="HNTP",
-        kind="nonadaptive",
-        factory=lambda inst, inner_rng: HNTP(
-            inst.target,
-            epsilon=engine.epsilon,
-            epsilon0=engine.epsilon0,
-            initial_scaled_error=engine.initial_scaled_error,
-            max_rounds=engine.max_rounds,
-            max_samples_per_round=engine.max_samples_per_round,
-            random_state=inner_rng,
-            n_jobs=engine.n_jobs,
-        ),
+        name="HNTP", kind="nonadaptive", factory=partial(_make_hntp, engine, jobs)
     )
-    adaptive = evaluate_adaptive(hatp_spec, instance, realizations, rng)
-    nonadaptive = evaluate_nonadaptive(
-        hntp_spec, instance, realizations, rng, mc_backend=engine.mc_backend
-    )
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        adaptive = evaluate_adaptive(
+            hatp_spec,
+            instance,
+            realizations,
+            rng,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
+        nonadaptive = evaluate_nonadaptive(
+            hntp_spec,
+            instance,
+            realizations,
+            rng,
+            mc_backend=engine.mc_backend,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
     return SeriesResult(
         experiment_id="ablation-adaptivity",
         title="Adaptive vs nonadaptive hybrid-error double greedy",
@@ -191,26 +183,27 @@ def sample_cap_ablation(
         dataset, k, cost_setting, scale, random_state
     )
     engine = scale.engine
+    jobs = engine.sampling_jobs()
     cap_values = caps if caps is not None else [100, 200, 400, 800]
     profits, rr_counts = [], []
-    for cap in cap_values:
-        spec = AlgorithmSpec(
-            name=f"HATP(cap={cap})",
-            kind="adaptive",
-            factory=lambda inst, inner_rng, _cap=cap: HATP(
-                inst.target,
-                epsilon=engine.epsilon,
-                epsilon0=engine.epsilon0,
-                initial_scaled_error=engine.initial_scaled_error,
-                max_rounds=engine.max_rounds,
-                max_samples_per_round=_cap,
-                random_state=inner_rng,
-                n_jobs=engine.n_jobs,
-            ),
-        )
-        outcome = evaluate_adaptive(spec, instance, realizations, rng)
-        profits.append(outcome.mean_profit)
-        rr_counts.append(float(outcome.total_rr_sets))
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        for cap in cap_values:
+            capped_engine = replace(engine, max_samples_per_round=cap)
+            spec = AlgorithmSpec(
+                name=f"HATP(cap={cap})",
+                kind="adaptive",
+                factory=partial(_make_hatp, capped_engine, jobs),
+            )
+            outcome = evaluate_adaptive(
+                spec,
+                instance,
+                realizations,
+                rng,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            profits.append(outcome.mean_profit)
+            rr_counts.append(float(outcome.total_rr_sets))
     return SeriesResult(
         experiment_id="ablation-sample-cap",
         title="HATP profit vs per-round sample cap",
@@ -234,27 +227,33 @@ def dynamic_threshold_ablation(
         dataset, k, cost_setting, scale, random_state
     )
     engine = scale.engine
+    jobs = engine.sampling_jobs()
 
-    def _factory(dynamic: bool):
-        def _make(inst, inner_rng):
-            return ADDATP(
-                inst.target,
-                initial_scaled_error=engine.initial_scaled_error,
-                dynamic_threshold=dynamic,
-                max_rounds=engine.addatp_max_rounds,
-                max_samples_per_round=engine.addatp_max_samples_per_round,
-                random_state=inner_rng,
-                n_jobs=engine.n_jobs,
-            )
-
-        return _make
-
-    fixed = evaluate_adaptive(
-        AlgorithmSpec("ADDATP-fixed", "adaptive", _factory(False)), instance, realizations, rng
-    )
-    dynamic = evaluate_adaptive(
-        AlgorithmSpec("ADDATP-dynamic", "adaptive", _factory(True)), instance, realizations, rng
-    )
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        fixed = evaluate_adaptive(
+            AlgorithmSpec(
+                "ADDATP-fixed",
+                "adaptive",
+                partial(_make_addatp, engine, jobs, dynamic_threshold=False),
+            ),
+            instance,
+            realizations,
+            rng,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
+        dynamic = evaluate_adaptive(
+            AlgorithmSpec(
+                "ADDATP-dynamic",
+                "adaptive",
+                partial(_make_addatp, engine, jobs, dynamic_threshold=True),
+            ),
+            instance,
+            realizations,
+            rng,
+            eval_jobs=engine.eval_jobs,
+            eval_pool=pool,
+        )
     return {
         "fixed_profit": fixed.mean_profit,
         "dynamic_profit": dynamic.mean_profit,

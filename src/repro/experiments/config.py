@@ -51,6 +51,14 @@ class EngineParameters:
     """Worker processes for RR-set generation (``None`` honours the
     ``REPRO_JOBS`` environment variable; ``-1`` uses all cores; sampled
     output is bit-for-bit independent of the value)."""
+    eval_jobs: Optional[int] = None
+    """Worker processes for whole-session evaluation — the outermost
+    parallel tier: complete adaptive runs fan out across realizations
+    (``None`` honours the ``REPRO_EVAL_JOBS`` environment variable; if
+    that is unset too, evaluation keeps the exact historical sequential
+    RNG stream; ``-1`` uses all cores; any concrete value switches to
+    per-realization spawned streams whose outcomes are bit-for-bit
+    independent of the worker count)."""
     mc_backend: Optional[str] = None
     """Forward Monte-Carlo simulation backend used when scoring seed sets
     against evaluation realizations (``None`` honours the
@@ -63,6 +71,24 @@ class EngineParameters:
         if self.baseline_sample_size is not None:
             return self.baseline_sample_size
         return self.max_samples_per_round
+
+    def sampling_jobs(self) -> Optional[int]:
+        """The sampling ``n_jobs`` algorithm factories should receive.
+
+        The no-nested-pool policy (``docs/parallelism.md``): whenever
+        session-level parallelism is active (``eval_jobs`` resolves to a
+        concrete value, including 1), algorithms run with sampling
+        ``n_jobs=1`` so worker counts never multiply — and the forcing is
+        uniform across ``eval_jobs`` values, which keeps the 1-vs-N
+        worker outcomes bit-for-bit identical.  Forcing is outcome-neutral
+        for any explicit ``n_jobs`` because sampled output is
+        ``n_jobs``-independent.
+        """
+        from repro.parallel.eval_pool import resolve_eval_jobs
+
+        if resolve_eval_jobs(self.eval_jobs) is not None:
+            return 1
+        return self.n_jobs
 
 
 @dataclass(frozen=True)

@@ -18,14 +18,21 @@ target → bigger adaptive advantage) is what this experiment preserves.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.hatp import HATP
 from repro.core.targets import build_predefined_cost_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
 from repro.experiments.results import SeriesResult
-from repro.experiments.runner import AlgorithmSpec, evaluate_adaptive, evaluate_nonadaptive
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    _make_baseline,
+    _make_hatp,
+    evaluate_adaptive,
+    evaluate_nonadaptive,
+    shared_eval_pool,
+)
 from repro.graphs import datasets as dataset_registry
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import RandomState, ensure_rng
@@ -59,48 +66,50 @@ def hatp_vs_nonadaptive_selector(
     hatp_profits: List[float] = []
     selector_profits: List[float] = []
     target_sizes: List[int] = []
-    for cost_ratio in values:
-        instance = build_predefined_cost_instance(
-            graph,
-            cost_ratio=cost_ratio,
-            cost_setting=cost_setting,
-            selector=selector,
-            num_samples=scale.num_rr_sets_instance,
-            max_target_size=max_target_size,
-            random_state=rng,
-        )
-        target_sizes.append(instance.k)
-        realizations = sample_realizations(graph, scale.num_realizations, rng)
+    with shared_eval_pool(graph, engine.eval_jobs) as pool:
+        for cost_ratio in values:
+            instance = build_predefined_cost_instance(
+                graph,
+                cost_ratio=cost_ratio,
+                cost_setting=cost_setting,
+                selector=selector,
+                num_samples=scale.num_rr_sets_instance,
+                max_target_size=max_target_size,
+                random_state=rng,
+            )
+            target_sizes.append(instance.k)
+            realizations = sample_realizations(graph, scale.num_realizations, rng)
 
-        hatp_spec = AlgorithmSpec(
-            name="HATP",
-            kind="adaptive",
-            factory=lambda inst, inner_rng: HATP(
-                inst.target,
-                epsilon=engine.epsilon,
-                epsilon0=engine.epsilon0,
-                initial_scaled_error=engine.initial_scaled_error,
-                additive_floor=engine.additive_floor,
-                max_rounds=engine.max_rounds,
-                max_samples_per_round=engine.max_samples_per_round,
-                random_state=inner_rng,
-                n_jobs=engine.n_jobs,
-            ),
-        )
-        hatp_outcome = evaluate_adaptive(hatp_spec, instance, realizations, rng)
-        hatp_profits.append(hatp_outcome.mean_profit)
+            hatp_spec = AlgorithmSpec(
+                name="HATP",
+                kind="adaptive",
+                factory=partial(_make_hatp, engine, engine.sampling_jobs()),
+            )
+            hatp_outcome = evaluate_adaptive(
+                hatp_spec,
+                instance,
+                realizations,
+                rng,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            hatp_profits.append(hatp_outcome.mean_profit)
 
-        # The nonadaptive selector's own profit is that of seeding its whole
-        # output (the target set) in one batch.
-        selector_spec = AlgorithmSpec(
-            name=selector.upper(),
-            kind="fixed",
-            factory=lambda inst, inner_rng: list(inst.target),
-        )
-        selector_outcome = evaluate_nonadaptive(
-            selector_spec, instance, realizations, rng, mc_backend=engine.mc_backend
-        )
-        selector_profits.append(selector_outcome.mean_profit)
+            # The nonadaptive selector's own profit is that of seeding its
+            # whole output (the target set) in one batch.
+            selector_spec = AlgorithmSpec(
+                name=selector.upper(), kind="fixed", factory=_make_baseline
+            )
+            selector_outcome = evaluate_nonadaptive(
+                selector_spec,
+                instance,
+                realizations,
+                rng,
+                mc_backend=engine.mc_backend,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            selector_profits.append(selector_outcome.mean_profit)
 
     return SeriesResult(
         experiment_id="fig7" if selector == "ndg" else "fig8",

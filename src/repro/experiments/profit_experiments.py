@@ -19,7 +19,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.targets import TPMInstance, build_spread_calibrated_instance
 from repro.experiments.config import ExperimentScale, SMOKE
 from repro.experiments.results import SeriesResult
-from repro.experiments.runner import AggregateOutcome, build_standard_suite, evaluate_suite
+from repro.experiments.runner import (
+    AggregateOutcome,
+    build_standard_suite,
+    evaluate_suite,
+    shared_eval_pool,
+)
 from repro.graphs import datasets as dataset_registry
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -42,25 +47,28 @@ def sweep_target_sizes(
         dataset, nodes=scale.nodes_for(dataset), random_state=rng
     )
     sweep: Dict[int, Dict[str, AggregateOutcome]] = {}
-    for k in k_values if k_values is not None else scale.k_values:
-        k = min(k, graph.n)
-        instance = build_spread_calibrated_instance(
-            graph,
-            k=k,
-            cost_setting=cost_setting,
-            num_rr_sets=scale.num_rr_sets_instance,
-            random_state=rng,
-        )
-        suite = build_standard_suite(
-            scale.engine, include_addatp=k <= scale.include_addatp_up_to_k
-        )
-        sweep[k] = evaluate_suite(
-            suite,
-            instance,
-            num_realizations=scale.num_realizations,
-            random_state=rng,
-            mc_backend=scale.engine.mc_backend,
-        )
+    with shared_eval_pool(graph, scale.engine.eval_jobs) as pool:
+        for k in k_values if k_values is not None else scale.k_values:
+            k = min(k, graph.n)
+            instance = build_spread_calibrated_instance(
+                graph,
+                k=k,
+                cost_setting=cost_setting,
+                num_rr_sets=scale.num_rr_sets_instance,
+                random_state=rng,
+            )
+            suite = build_standard_suite(
+                scale.engine, include_addatp=k <= scale.include_addatp_up_to_k
+            )
+            sweep[k] = evaluate_suite(
+                suite,
+                instance,
+                num_realizations=scale.num_realizations,
+                random_state=rng,
+                mc_backend=scale.engine.mc_backend,
+                eval_jobs=scale.engine.eval_jobs,
+                eval_pool=pool,
+            )
     return sweep
 
 

@@ -11,12 +11,27 @@ and are scored against the same 20 possible worlds.
 profit figures — HATP, ADDATP, HNTP, NSG, NDG, ARS and the Baseline (the
 whole target set) — parameterised by an
 :class:`~repro.experiments.config.EngineParameters`.
+
+Session-level parallelism: every evaluation function takes an
+``eval_jobs`` knob (and the suite threads
+:attr:`~repro.experiments.config.EngineParameters.eval_jobs` through it).
+With the default ``None`` (and no ``REPRO_EVAL_JOBS`` environment) the
+historical sequential loop — and its exact RNG stream — is untouched;
+any concrete value switches to per-realization spawned algorithm streams
+dispatched through :class:`repro.parallel.eval_pool.EvaluationPool`,
+whose outcomes are bit-for-bit independent of the worker count
+(``eval_jobs=1`` runs the identical loop in-process).  The suite
+builders hand algorithm factories as pickled ``functools.partial``
+objects over module-level constructors so complete sessions can run in
+worker processes.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,8 +53,20 @@ from repro.diffusion.realization import (
     sample_realizations,
 )
 from repro.experiments.config import EngineParameters
+from repro.parallel.eval_pool import (
+    EvaluationPool,
+    RealizationTicket,
+    SessionRecord,
+    as_tickets,
+    parallel_evaluate_adaptive,
+    resolve_eval_jobs,
+)
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.timer import Timer
+
+#: What the evaluation functions accept as "one possible world": a sampled
+#: realization, or a ticket that re-samples it wherever it is needed.
+RealizationLike = Union[BaseRealization, RealizationTicket]
 
 
 @dataclass(frozen=True)
@@ -59,7 +86,13 @@ class AlgorithmSpec:
 
 @dataclass
 class AggregateOutcome:
-    """Average outcome of one algorithm over the evaluation realizations."""
+    """Average outcome of one algorithm over the evaluation realizations.
+
+    Besides the means, the full per-realization series are kept — profits,
+    spreads, seed counts and seed costs, all in realization order — so a
+    parallel evaluation's merge order stays auditable and downstream plots
+    can draw variance bands instead of bare means.
+    """
 
     algorithm: str
     mean_profit: float
@@ -70,6 +103,9 @@ class AggregateOutcome:
     selection_runtime_seconds: float
     total_rr_sets: int
     per_realization_profits: List[float] = field(default_factory=list)
+    per_realization_spreads: List[float] = field(default_factory=list)
+    per_realization_seeds: List[float] = field(default_factory=list)
+    per_realization_costs: List[float] = field(default_factory=list)
 
     def as_row(self) -> Dict[str, object]:
         """Dictionary row for tabular reporting."""
@@ -105,21 +141,86 @@ def _aggregate(
         selection_runtime_seconds=runtime,
         total_rr_sets=int(rr_sets),
         per_realization_profits=[float(p) for p in profits],
+        per_realization_spreads=[float(s) for s in spreads],
+        per_realization_seeds=[float(s) for s in seeds],
+        per_realization_costs=[float(c) for c in costs],
     )
+
+
+def _outcome_from_records(
+    algorithm: str, records: Sequence[SessionRecord]
+) -> AggregateOutcome:
+    """Aggregate per-realization session records (already in realization order)."""
+    total_runtime = sum(record.runtime_seconds for record in records)
+    return _aggregate(
+        algorithm,
+        [record.profit for record in records],
+        [record.spread for record in records],
+        [float(record.num_seeds) for record in records],
+        [record.seed_cost for record in records],
+        total_runtime / max(len(records), 1),
+        sum(record.rr_sets for record in records),
+    )
+
+
+@contextmanager
+def shared_eval_pool(graph, eval_jobs: Optional[int]):
+    """One :class:`EvaluationPool` for a driver's whole sweep.
+
+    Yields ``None`` when session-level parallelism is off (``eval_jobs``
+    resolves to ``None``), so callers can always write
+    ``evaluate_adaptive(..., eval_jobs=engine.eval_jobs, eval_pool=pool)``
+    — with a live pool the graph is published to the workers once per
+    sweep instead of once per data point.
+    """
+    resolved = resolve_eval_jobs(eval_jobs)
+    if resolved is None:
+        yield None
+        return
+    with EvaluationPool(graph, eval_jobs=resolved) as pool:
+        yield pool
 
 
 def evaluate_adaptive(
     spec: AlgorithmSpec,
     instance: TPMInstance,
-    realizations: Sequence[BaseRealization],
+    realizations: Sequence[RealizationLike],
     random_state: RandomState = None,
+    eval_jobs: Optional[int] = None,
+    eval_pool: Optional[EvaluationPool] = None,
 ) -> AggregateOutcome:
-    """Run an adaptive algorithm once per realization and average the outcomes."""
+    """Run an adaptive algorithm once per realization and average the outcomes.
+
+    With ``eval_jobs`` left at ``None`` (and no ``REPRO_EVAL_JOBS``
+    environment, no ``eval_pool``), the sessions run sequentially with the
+    exact historical RNG threading: one shared generator feeds every
+    factory, so realization ``i+1``'s algorithm stream depends on how much
+    randomness realization ``i`` consumed.  Any concrete ``eval_jobs``
+    (or an explicit ``eval_pool``) switches to one *spawned* algorithm
+    stream per realization, which decouples the sessions and lets them run
+    in parallel — the per-realization outcomes are then bit-for-bit
+    independent of the worker count (``eval_jobs=1`` runs the identical
+    spawned-stream loop in-process, with no processes started).
+    """
     rng = ensure_rng(random_state)
+    resolved = resolve_eval_jobs(eval_jobs)
+    if resolved is not None or eval_pool is not None:
+        records = parallel_evaluate_adaptive(
+            spec.factory,
+            instance,
+            realizations,
+            random_state=rng,
+            eval_jobs=resolved or 1,
+            pool=eval_pool,
+        )
+        return _outcome_from_records(spec.name, records)
+
     profits, spreads, seeds, costs = [], [], [], []
     total_runtime = 0.0
     total_rr = 0
     for realization in realizations:
+        if isinstance(realization, RealizationTicket):
+            realization = realization.realize(instance.graph)
         algorithm = spec.factory(instance, rng)
         session = AdaptiveSession(instance.graph, realization, instance.costs)
         result: SeedingResult = algorithm.run(session)
@@ -136,9 +237,11 @@ def evaluate_adaptive(
 def evaluate_nonadaptive(
     spec: AlgorithmSpec,
     instance: TPMInstance,
-    realizations: Sequence[BaseRealization],
+    realizations: Sequence[RealizationLike],
     random_state: RandomState = None,
     mc_backend: Optional[str] = None,
+    eval_jobs: Optional[int] = None,
+    eval_pool: Optional[EvaluationPool] = None,
 ) -> AggregateOutcome:
     """Select once on the full graph, then score against every realization.
 
@@ -147,8 +250,18 @@ def evaluate_nonadaptive(
     *all* evaluation realizations in one batched live-edge replay instead
     of one Python BFS per realization — replay is deterministic, so the
     outcomes are element-for-element identical to the per-realization loop.
+
+    ``eval_jobs`` / ``eval_pool`` fan the per-realization scoring loop out
+    across session workers when the batched replay is not in play (replay
+    is deterministic given the realization, so the outcomes stay identical
+    for every worker count).  State-carrying tickets pass straight through
+    to the workers — the worlds are then never materialized in the parent
+    and nothing ``O(m)`` is pickled.  Selection itself is a single pass
+    and always runs in the parent.
     """
     rng = ensure_rng(random_state)
+    resolved = resolve_eval_jobs(eval_jobs)
+    items = list(realizations)
     algorithm = spec.factory(instance, rng)
     timer = Timer().start()
     if spec.kind == "fixed":
@@ -162,26 +275,49 @@ def evaluate_nonadaptive(
         rr_sets = selection.rr_sets_generated
     timer.stop()
 
+    def _materialized() -> List[BaseRealization]:
+        return [
+            r.realize(instance.graph) if isinstance(r, RealizationTicket) else r
+            for r in items
+        ]
+
     profits, spreads, costs = [], [], []
-    batched_replay = (
-        resolve_mc_backend(mc_backend) == "vectorized"
-        and len(realizations) > 0
-        and all(
-            isinstance(r, Realization) and r.graph is instance.graph
-            for r in realizations
-        )
+    # Tickets always score deterministically; materialized worlds qualify
+    # when they are eager and sampled on this instance's graph.
+    eager = len(items) > 0 and all(
+        isinstance(r, RealizationTicket)
+        or (isinstance(r, Realization) and r.graph is instance.graph)
+        for r in items
     )
+    batched_replay = resolve_mc_backend(mc_backend) == "vectorized" and eager
+    pool_jobs = eval_pool.n_jobs if eval_pool is not None else (resolved or 1)
     if batched_replay:
         replay_spreads = batch_realization_spreads(
-            list(realizations), [int(v) for v in seeds_chosen]
+            _materialized(), [int(v) for v in seeds_chosen]
         )
         seed_cost = total_cost(instance.costs, seeds_chosen)
         for spread in replay_spreads.tolist():
             profits.append(float(spread) - seed_cost)
             spreads.append(float(spread))
             costs.append(seed_cost)
+    elif pool_jobs > 1 and eager:
+        tickets = as_tickets(items)
+        if eval_pool is not None:
+            pool_spreads = eval_pool.score_selection(
+                seeds_chosen, tickets, graph=instance.graph
+            )
+        else:
+            with EvaluationPool(instance.graph, eval_jobs=pool_jobs) as ephemeral:
+                pool_spreads = ephemeral.score_selection(
+                    seeds_chosen, tickets, graph=instance.graph
+                )
+        seed_cost = total_cost(instance.costs, seeds_chosen)
+        for spread in pool_spreads:
+            profits.append(float(spread) - seed_cost)
+            spreads.append(float(spread))
+            costs.append(seed_cost)
     else:
-        for realization in realizations:
+        for realization in _materialized():
             session = AdaptiveSession(instance.graph, realization, instance.costs)
             outcome = session.evaluate_nonadaptive(seeds_chosen)
             profits.append(outcome.profit)
@@ -191,7 +327,7 @@ def evaluate_nonadaptive(
         spec.name,
         profits,
         spreads,
-        [len(seeds_chosen)] * len(realizations),
+        [len(seeds_chosen)] * len(items),
         costs,
         selection_runtime if spec.kind != "fixed" else timer.elapsed,
         rr_sets,
@@ -204,28 +340,154 @@ def evaluate_suite(
     num_realizations: int,
     random_state: RandomState = None,
     mc_backend: Optional[str] = None,
+    eval_jobs: Optional[int] = None,
+    eval_pool: Optional[EvaluationPool] = None,
 ) -> Dict[str, AggregateOutcome]:
     """Evaluate every algorithm of ``specs`` on shared realizations.
 
     ``mc_backend`` selects how nonadaptive seed sets are scored against the
     evaluation realizations (see :func:`evaluate_nonadaptive`).
+
+    ``eval_jobs`` selects session-level parallelism.  The realization
+    *family* is identical on both paths — ``num_realizations`` children
+    spawned from the suite generator, exactly what
+    :func:`~repro.diffusion.realization.sample_realizations` draws — but
+    the parallel path carries them as :class:`RealizationTicket`\\ s, so
+    workers re-sample their world in-process instead of receiving a
+    pickled live mask, and one
+    :class:`~repro.parallel.eval_pool.EvaluationPool` serves every
+    algorithm of the suite.  Sweep drivers that call this per data point
+    should pass an ``eval_pool`` (see :func:`shared_eval_pool`) so the
+    graph is published to the workers once per sweep rather than once
+    per call.
     """
     rng = ensure_rng(random_state)
-    realizations = sample_realizations(instance.graph, num_realizations, rng)
-    outcomes: Dict[str, AggregateOutcome] = {}
-    for spec in specs:
-        if spec.kind == "adaptive":
-            outcomes[spec.name] = evaluate_adaptive(spec, instance, realizations, rng)
-        else:
-            outcomes[spec.name] = evaluate_nonadaptive(
-                spec, instance, realizations, rng, mc_backend=mc_backend
-            )
-    return outcomes
+    resolved = resolve_eval_jobs(eval_jobs)
+    if resolved is None and eval_pool is None:
+        realizations = sample_realizations(instance.graph, num_realizations, rng)
+        outcomes: Dict[str, AggregateOutcome] = {}
+        for spec in specs:
+            if spec.kind == "adaptive":
+                outcomes[spec.name] = evaluate_adaptive(spec, instance, realizations, rng)
+            else:
+                outcomes[spec.name] = evaluate_nonadaptive(
+                    spec, instance, realizations, rng, mc_backend=mc_backend
+                )
+        return outcomes
+
+    # Same spawn layout as sample_realizations: child stream i is
+    # realization i, regardless of eval_jobs.  Both the adaptive and the
+    # nonadaptive branches consume the tickets directly, so no world is
+    # materialized here (nothing O(R·m) held or pickled by the suite).
+    states = list(rng.spawn(num_realizations))
+    tickets = [RealizationTicket.from_state(state) for state in states]
+
+    def _run(pool: Optional[EvaluationPool]) -> Dict[str, AggregateOutcome]:
+        outcomes: Dict[str, AggregateOutcome] = {}
+        for spec in specs:
+            if spec.kind == "adaptive":
+                outcomes[spec.name] = evaluate_adaptive(
+                    spec, instance, tickets, rng, eval_jobs=resolved, eval_pool=pool
+                )
+            else:
+                outcomes[spec.name] = evaluate_nonadaptive(
+                    spec,
+                    instance,
+                    tickets,
+                    rng,
+                    mc_backend=mc_backend,
+                    eval_jobs=resolved,
+                    eval_pool=pool,
+                )
+        return outcomes
+
+    if eval_pool is not None:
+        return _run(eval_pool)
+    with EvaluationPool(instance.graph, eval_jobs=resolved) as pool:
+        return _run(pool)
 
 
 # --------------------------------------------------------------------------- #
 # the standard line-up of the paper's figures
 # --------------------------------------------------------------------------- #
+#
+# Factories are functools.partial over these module-level constructors —
+# never closures — so an AlgorithmSpec pickles cleanly into evaluation
+# workers.  Each takes the sampling n_jobs explicitly: the suite builder
+# passes `engine.sampling_jobs()`, which forces 1 whenever session-level
+# parallelism is active (the no-nested-pool policy of docs/parallelism.md).
+
+
+def _make_hatp(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
+    return HATP(
+        inst.target,
+        epsilon=engine.epsilon,
+        epsilon0=engine.epsilon0,
+        initial_scaled_error=engine.initial_scaled_error,
+        additive_floor=engine.additive_floor,
+        max_rounds=engine.max_rounds,
+        max_samples_per_round=engine.max_samples_per_round,
+        random_state=rng,
+        n_jobs=n_jobs,
+    )
+
+
+def _make_addatp(
+    engine: EngineParameters,
+    n_jobs: Optional[int],
+    inst,
+    rng,
+    dynamic_threshold: bool = False,
+):
+    return ADDATP(
+        inst.target,
+        initial_scaled_error=engine.initial_scaled_error,
+        dynamic_threshold=dynamic_threshold,
+        max_rounds=engine.addatp_max_rounds,
+        max_samples_per_round=engine.addatp_max_samples_per_round,
+        random_state=rng,
+        n_jobs=n_jobs,
+    )
+
+
+def _make_hntp(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
+    return HNTP(
+        inst.target,
+        epsilon=engine.epsilon,
+        epsilon0=engine.epsilon0,
+        initial_scaled_error=engine.initial_scaled_error,
+        additive_floor=engine.additive_floor,
+        max_rounds=engine.max_rounds,
+        max_samples_per_round=engine.max_samples_per_round,
+        random_state=rng,
+        n_jobs=n_jobs,
+    )
+
+
+def _make_nsg(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
+    return NSG(
+        inst.target,
+        num_samples=engine.nsg_ndg_samples(),
+        random_state=rng,
+        n_jobs=n_jobs,
+    )
+
+
+def _make_ndg(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
+    return NDG(
+        inst.target,
+        num_samples=engine.nsg_ndg_samples(),
+        random_state=rng,
+        n_jobs=n_jobs,
+    )
+
+
+def _make_ars(inst, rng):
+    return AdaptiveRandomSet(inst.target, random_state=rng)
+
+
+def _make_baseline(inst, rng):
+    return list(inst.target)
 
 
 def build_standard_suite(
@@ -240,21 +502,10 @@ def build_standard_suite(
     configurations before exhausting memory); ARS / Baseline can be dropped
     for the running-time figures.
     """
+    jobs = engine.sampling_jobs()
     specs: List[AlgorithmSpec] = [
         AlgorithmSpec(
-            name="HATP",
-            kind="adaptive",
-            factory=lambda inst, rng: HATP(
-                inst.target,
-                epsilon=engine.epsilon,
-                epsilon0=engine.epsilon0,
-                initial_scaled_error=engine.initial_scaled_error,
-                additive_floor=engine.additive_floor,
-                max_rounds=engine.max_rounds,
-                max_samples_per_round=engine.max_samples_per_round,
-                random_state=rng,
-                n_jobs=engine.n_jobs,
-            ),
+            name="HATP", kind="adaptive", factory=partial(_make_hatp, engine, jobs)
         ),
     ]
     if include_addatp:
@@ -262,71 +513,28 @@ def build_standard_suite(
             AlgorithmSpec(
                 name="ADDATP",
                 kind="adaptive",
-                factory=lambda inst, rng: ADDATP(
-                    inst.target,
-                    initial_scaled_error=engine.initial_scaled_error,
-                    max_rounds=engine.addatp_max_rounds,
-                    max_samples_per_round=engine.addatp_max_samples_per_round,
-                    random_state=rng,
-                    n_jobs=engine.n_jobs,
-                ),
+                factory=partial(_make_addatp, engine, jobs),
             )
         )
     specs.append(
         AlgorithmSpec(
-            name="HNTP",
-            kind="nonadaptive",
-            factory=lambda inst, rng: HNTP(
-                inst.target,
-                epsilon=engine.epsilon,
-                epsilon0=engine.epsilon0,
-                initial_scaled_error=engine.initial_scaled_error,
-                additive_floor=engine.additive_floor,
-                max_rounds=engine.max_rounds,
-                max_samples_per_round=engine.max_samples_per_round,
-                random_state=rng,
-                n_jobs=engine.n_jobs,
-            ),
+            name="HNTP", kind="nonadaptive", factory=partial(_make_hntp, engine, jobs)
         )
     )
     specs.append(
         AlgorithmSpec(
-            name="NSG",
-            kind="nonadaptive",
-            factory=lambda inst, rng: NSG(
-                inst.target,
-                num_samples=engine.nsg_ndg_samples(),
-                random_state=rng,
-                n_jobs=engine.n_jobs,
-            ),
+            name="NSG", kind="nonadaptive", factory=partial(_make_nsg, engine, jobs)
         )
     )
     specs.append(
         AlgorithmSpec(
-            name="NDG",
-            kind="nonadaptive",
-            factory=lambda inst, rng: NDG(
-                inst.target,
-                num_samples=engine.nsg_ndg_samples(),
-                random_state=rng,
-                n_jobs=engine.n_jobs,
-            ),
+            name="NDG", kind="nonadaptive", factory=partial(_make_ndg, engine, jobs)
         )
     )
     if include_ars:
-        specs.append(
-            AlgorithmSpec(
-                name="ARS",
-                kind="adaptive",
-                factory=lambda inst, rng: AdaptiveRandomSet(inst.target, random_state=rng),
-            )
-        )
+        specs.append(AlgorithmSpec(name="ARS", kind="adaptive", factory=_make_ars))
     if include_baseline:
         specs.append(
-            AlgorithmSpec(
-                name="Baseline",
-                kind="fixed",
-                factory=lambda inst, rng: list(inst.target),
-            )
+            AlgorithmSpec(name="Baseline", kind="fixed", factory=_make_baseline)
         )
     return specs

@@ -10,15 +10,21 @@ the gap to the adaptive algorithms.
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.baselines.ndg import NDG
-from repro.baselines.nsg import NSG
 from repro.core.targets import build_spread_calibrated_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
 from repro.experiments.results import SeriesResult
-from repro.experiments.runner import AlgorithmSpec, evaluate_nonadaptive
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    _make_ndg,
+    _make_nsg,
+    evaluate_nonadaptive,
+    shared_eval_pool,
+)
 from repro.graphs import datasets as dataset_registry
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -50,39 +56,44 @@ def sample_size_scaling(
     factors = list(scale_factors if scale_factors is not None else scale.sample_scale_factors)
     base = base_samples if base_samples is not None else scale.engine.nsg_ndg_samples()
 
+    engine = scale.engine
+    jobs = engine.sampling_jobs()
     nsg_profit, nsg_runtime, ndg_profit, ndg_runtime = [], [], [], []
-    for factor in factors:
-        samples = base * factor
-        nsg_spec = AlgorithmSpec(
-            name="NSG",
-            kind="nonadaptive",
-            factory=lambda inst, inner_rng, _s=samples: NSG(
-                inst.target,
-                num_samples=_s,
-                random_state=inner_rng,
-                n_jobs=scale.engine.n_jobs,
-            ),
-        )
-        ndg_spec = AlgorithmSpec(
-            name="NDG",
-            kind="nonadaptive",
-            factory=lambda inst, inner_rng, _s=samples: NDG(
-                inst.target,
-                num_samples=_s,
-                random_state=inner_rng,
-                n_jobs=scale.engine.n_jobs,
-            ),
-        )
-        nsg_outcome = evaluate_nonadaptive(
-            nsg_spec, instance, realizations, rng, mc_backend=scale.engine.mc_backend
-        )
-        ndg_outcome = evaluate_nonadaptive(
-            ndg_spec, instance, realizations, rng, mc_backend=scale.engine.mc_backend
-        )
-        nsg_profit.append(nsg_outcome.mean_profit)
-        nsg_runtime.append(nsg_outcome.selection_runtime_seconds)
-        ndg_profit.append(ndg_outcome.mean_profit)
-        ndg_runtime.append(ndg_outcome.selection_runtime_seconds)
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        for factor in factors:
+            scaled_engine = replace(engine, baseline_sample_size=base * factor)
+            nsg_spec = AlgorithmSpec(
+                name="NSG",
+                kind="nonadaptive",
+                factory=partial(_make_nsg, scaled_engine, jobs),
+            )
+            ndg_spec = AlgorithmSpec(
+                name="NDG",
+                kind="nonadaptive",
+                factory=partial(_make_ndg, scaled_engine, jobs),
+            )
+            nsg_outcome = evaluate_nonadaptive(
+                nsg_spec,
+                instance,
+                realizations,
+                rng,
+                mc_backend=engine.mc_backend,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            ndg_outcome = evaluate_nonadaptive(
+                ndg_spec,
+                instance,
+                realizations,
+                rng,
+                mc_backend=engine.mc_backend,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            nsg_profit.append(nsg_outcome.mean_profit)
+            nsg_runtime.append(nsg_outcome.selection_runtime_seconds)
+            ndg_profit.append(ndg_outcome.mean_profit)
+            ndg_runtime.append(ndg_outcome.selection_runtime_seconds)
 
     return SeriesResult(
         experiment_id="fig9",

@@ -8,13 +8,19 @@ reproduces that sweep at the configured scale.
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.core.hatp import HATP
 from repro.core.targets import build_spread_calibrated_instance
 from repro.experiments.config import ExperimentScale, SMOKE
 from repro.experiments.results import SeriesResult
-from repro.experiments.runner import AlgorithmSpec, evaluate_adaptive
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    _make_hatp,
+    evaluate_adaptive,
+    shared_eval_pool,
+)
 from repro.diffusion.realization import sample_realizations
 from repro.graphs import datasets as dataset_registry
 from repro.utils.rng import RandomState, ensure_rng
@@ -46,27 +52,29 @@ def epsilon_sensitivity(
     engine = scale.engine
 
     values = list(epsilon_values if epsilon_values is not None else scale.epsilon_values)
+    jobs = engine.sampling_jobs()
     profits = []
     runtimes = []
-    for epsilon in values:
-        spec = AlgorithmSpec(
-            name=f"HATP(eps={epsilon})",
-            kind="adaptive",
-            factory=lambda inst, inner_rng, _eps=epsilon: HATP(
-                inst.target,
-                epsilon=_eps,
-                epsilon0=max(engine.epsilon0, _eps),
-                initial_scaled_error=engine.initial_scaled_error,
-                additive_floor=engine.additive_floor,
-                max_rounds=engine.max_rounds,
-                max_samples_per_round=engine.max_samples_per_round,
-                random_state=inner_rng,
-                n_jobs=engine.n_jobs,
-            ),
-        )
-        outcome = evaluate_adaptive(spec, instance, realizations, rng)
-        profits.append(outcome.mean_profit)
-        runtimes.append(outcome.selection_runtime_seconds)
+    with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
+        for epsilon in values:
+            eps_engine = replace(
+                engine, epsilon=epsilon, epsilon0=max(engine.epsilon0, epsilon)
+            )
+            spec = AlgorithmSpec(
+                name=f"HATP(eps={epsilon})",
+                kind="adaptive",
+                factory=partial(_make_hatp, eps_engine, jobs),
+            )
+            outcome = evaluate_adaptive(
+                spec,
+                instance,
+                realizations,
+                rng,
+                eval_jobs=engine.eval_jobs,
+                eval_pool=pool,
+            )
+            profits.append(outcome.mean_profit)
+            runtimes.append(outcome.selection_runtime_seconds)
 
     return SeriesResult(
         experiment_id="fig4b",

@@ -135,6 +135,50 @@ class ProbabilisticGraph:
         assert self._in_offsets[-1] == m
 
     @classmethod
+    def from_csr_arrays(
+        cls,
+        n: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_probs: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_probs: np.ndarray,
+        name: str = "",
+        undirected_input: bool = False,
+    ) -> "ProbabilisticGraph":
+        """Rebuild a graph from already-canonical CSR arrays (trusted path).
+
+        The arrays must be exactly what :meth:`out_csr` / :meth:`in_csr` of
+        an existing graph return (the canonical lexicographic edge order);
+        no validation or re-sorting is performed and the big arrays are
+        *referenced, not copied*, so the result is a zero-copy view over the
+        caller's buffers — this is how evaluation workers resurrect a full
+        :class:`ProbabilisticGraph` on top of shared-memory segments
+        (:mod:`repro.parallel.eval_pool`).  Only the two derived indexes
+        that are not published are recomputed: the per-edge source array
+        (an ``O(m)`` repeat) and the in-CSR edge ids (a stable argsort,
+        bit-for-bit the one :meth:`_build_csr` produced in the parent).
+        """
+        graph = cls.__new__(cls)
+        graph._n = int(n)
+        graph._name = name
+        graph._undirected_input = bool(undirected_input)
+        graph._out_offsets = out_offsets
+        graph._out_targets = out_targets
+        graph._out_probs = out_probs
+        graph._out_sources = np.repeat(
+            np.arange(graph._n, dtype=np.int64), np.diff(out_offsets)
+        )
+        graph._in_offsets = in_offsets
+        graph._in_sources = in_sources
+        graph._in_probs = in_probs
+        graph._in_edge_ids = np.ascontiguousarray(
+            np.argsort(out_targets, kind="stable").astype(np.int64)
+        )
+        return graph
+
+    @classmethod
     def from_edge_list(
         cls,
         edges: Iterable[Tuple[int, int]] | Iterable[Tuple[int, int, float]],
@@ -297,6 +341,17 @@ class ProbabilisticGraph:
     def edge_targets(self) -> np.ndarray:
         """Target node of every edge in edge-id order (cached; do not mutate)."""
         return self._out_targets
+
+    @property
+    def edge_probabilities(self) -> np.ndarray:
+        """Probability of every edge in edge-id order (cached; do not mutate).
+
+        The copy-free sibling of :meth:`edge_array` for callers that only
+        need the probability column — e.g. realization sampling, which
+        draws one Bernoulli flip per edge and has no use for the two
+        ``O(m)`` endpoint copies.
+        """
+        return self._out_probs
 
     def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(sources, targets, probabilities)`` arrays in edge-id order."""

@@ -17,6 +17,12 @@ independent coin flips — so this package scales the vectorized engine of
 * :mod:`repro.parallel.pool` — :class:`SamplingPool`, the persistent
   worker pool, plus :func:`resolve_jobs` (the ``n_jobs`` / ``REPRO_JOBS``
   knob) and :func:`parallel_generate_rr_batch` for one-shot batches.
+* :mod:`repro.parallel.eval_pool` — :class:`EvaluationPool`, the
+  session-level tier above the samplers: complete adaptive seeding
+  sessions fan out across workers (one task per evaluation realization,
+  realizations re-sampled in-process from spawned streams), resolved by
+  the ``eval_jobs`` / ``REPRO_EVAL_JOBS`` knob and bit-for-bit
+  independent of the worker count.
 
 Every sampler in the library reaches this package through the ``n_jobs``
 parameter of :meth:`repro.sampling.flat_collection.FlatRRCollection.generate`
@@ -30,6 +36,14 @@ from repro.parallel.broker import (
     SharedGraphSpec,
     SharedResidualView,
     attach_shared_graph,
+)
+from repro.parallel.eval_pool import (
+    EVAL_JOBS_ENV_VAR,
+    EvaluationPool,
+    RealizationTicket,
+    SessionRecord,
+    parallel_evaluate_adaptive,
+    resolve_eval_jobs,
 )
 from repro.parallel.pool import (
     JOBS_ENV_VAR,
@@ -46,8 +60,12 @@ from repro.parallel.seeds import (
 )
 
 __all__ = [
+    "EVAL_JOBS_ENV_VAR",
+    "EvaluationPool",
     "JOBS_ENV_VAR",
+    "RealizationTicket",
     "SamplingPool",
+    "SessionRecord",
     "SharedCSRGraph",
     "SharedGraphBroker",
     "SharedGraphSpec",
@@ -55,8 +73,10 @@ __all__ = [
     "attach_shared_graph",
     "available_cpus",
     "default_shard_size",
+    "parallel_evaluate_adaptive",
     "parallel_generate_rr_batch",
     "parallel_simulate_ic_batch",
+    "resolve_eval_jobs",
     "resolve_jobs",
     "shard_layout",
     "spawn_shard_states",

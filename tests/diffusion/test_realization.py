@@ -81,6 +81,65 @@ class TestLazyRealization:
     def test_num_sampled_starts_at_zero(self, path4):
         assert LazyRealization(path4, 0).num_sampled_edges == 0
 
+    def test_per_edge_stream_unchanged_by_default(self):
+        # The default mode must keep flipping one edge per draw in the
+        # historical order; pin it against a hand-rolled replay.
+        graph = star_graph(8).with_uniform_probability(0.5)
+        world = LazyRealization(graph, 7)
+        states = [world.is_live(e) for e in range(graph.m)]
+        rng = np.random.default_rng(7)
+        expected = [bool(rng.random() < 0.5) for _ in range(graph.m)]
+        assert states == expected
+
+
+class TestLazyRealizationBatchFlip:
+    def test_consistent_queries(self):
+        graph = star_graph(12).with_uniform_probability(0.5)
+        world = LazyRealization(graph, 0, batch_flip=True)
+        first = [world.is_live(e) for e in range(graph.m)]
+        second = [world.is_live(e) for e in range(graph.m)]
+        assert first == second
+
+    def test_whole_slice_flipped_on_first_touch(self):
+        graph = star_graph(10).with_uniform_probability(0.5)
+        world = LazyRealization(graph, 0, batch_flip=True)
+        world.is_live(0)  # any edge of the center flips all of them
+        assert world.num_sampled_edges == graph.out_degree(0)
+        # Touching a sibling edge afterwards consumes no new randomness.
+        before = world.num_sampled_edges
+        world.is_live(graph.out_degree(0) - 1)
+        assert world.num_sampled_edges == before
+
+    def test_untouched_sources_stay_unsampled(self):
+        graph = path_graph(10).with_uniform_probability(1.0)
+        world = LazyRealization(graph, 0, batch_flip=True)
+        world.activated_by([8])
+        assert world.num_sampled_edges <= 2
+
+    def test_deterministic_edges_agree_with_per_edge_mode(self, path4):
+        batched = LazyRealization(path4, 0, batch_flip=True)
+        assert batched.spread([0]) == 4
+
+    def test_same_marginal_distribution(self):
+        # Statistically identical: over many worlds the live-edge rate of
+        # both modes converges to p.  (The streams differ per world — the
+        # knob is documented as changing the draw order.)
+        graph = star_graph(40).with_uniform_probability(0.3)
+        trials = 200
+        per_edge = sum(
+            LazyRealization(graph, seed).is_live(0) for seed in range(trials)
+        )
+        batched = sum(
+            LazyRealization(graph, seed, batch_flip=True).is_live(0)
+            for seed in range(trials)
+        )
+        assert abs(per_edge / trials - 0.3) < 0.1
+        assert abs(batched / trials - 0.3) < 0.1
+
+    def test_sample_realizations_forwards_the_knob(self, path4):
+        worlds = sample_realizations(path4, 2, random_state=0, lazy=True, batch_flip=True)
+        assert all(world._batch_flip for world in worlds)
+
 
 class TestSampleRealizations:
     def test_count_and_type(self, path4):

@@ -94,3 +94,107 @@ class TestEvaluation:
         )
         row = evaluate_nonadaptive(spec, small_instance, realizations).as_row()
         assert {"algorithm", "profit", "spread", "seeds", "cost", "runtime_s"} <= set(row)
+
+    def test_per_realization_series_are_kept(self, small_instance, fast_engine):
+        # The aggregate must retain the full per-realization series (in
+        # realization order) so a parallel merge stays auditable and plots
+        # can show variance bands.
+        suite = build_standard_suite(fast_engine, include_addatp=False)
+        outcomes = evaluate_suite(suite, small_instance, num_realizations=2, random_state=0)
+        for outcome in outcomes.values():
+            assert len(outcome.per_realization_spreads) == 2
+            assert len(outcome.per_realization_seeds) == 2
+            assert len(outcome.per_realization_costs) == 2
+            for profit, spread, cost in zip(
+                outcome.per_realization_profits,
+                outcome.per_realization_spreads,
+                outcome.per_realization_costs,
+            ):
+                assert profit == pytest.approx(spread - cost)
+
+
+#: Pinned outcomes of the historical sequential evaluation stream
+#: (evaluate_suite with eval_jobs=None on the shared fixtures), captured
+#: before the session-level parallel subsystem existed.  The default path
+#: must keep reproducing these bit-for-bit: it shares one generator
+#: across all factories, so any accidental re-threading of RNG state
+#: (e.g. routing the default through the spawned-stream path) shows up
+#: here immediately.
+HISTORICAL_SUITE_SNAPSHOT = {
+    "HATP": {
+        "profits": [-15.873486179813455, 3.2006366442623637, 17.576994883510185],
+        "rr_sets": 4856,
+    },
+    "ADDATP": {
+        "profits": [-14.92843807348109, -1.285625382320724, 15.338016378431458],
+        "rr_sets": 3452,
+    },
+    "HNTP": {
+        "profits": [-9.203197541819272, -1.2031975418192715, 18.79680245818073],
+        "rr_sets": 1944,
+    },
+    "NSG": {
+        "profits": [-11.716935515236177, -5.716935515236177, 17.283064484763823],
+        "rr_sets": 150,
+    },
+    "NDG": {
+        "profits": [-10.285625382320724, -1.285625382320724, 12.714374617679276],
+        "rr_sets": 150,
+    },
+    "ARS": {
+        "profits": [-10.60703172790091, 4.39296827209909, 4.8792302986821845],
+        "rr_sets": 0,
+    },
+    "Baseline": {
+        "profits": [-19.084988738058364, -7.084988738058364, 18.915011261941636],
+        "rr_sets": 0,
+    },
+}
+
+
+class TestDeterminismContract:
+    """The eval_jobs determinism contract of docs/parallelism.md."""
+
+    @pytest.fixture(scope="class")
+    def snapshot_engine(self) -> EngineParameters:
+        return EngineParameters(
+            max_rounds=3,
+            max_samples_per_round=150,
+            addatp_max_rounds=3,
+            addatp_max_samples_per_round=150,
+        )
+
+    def test_default_path_reproduces_historical_stream(
+        self, small_instance, snapshot_engine, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_EVAL_JOBS", raising=False)
+        suite = build_standard_suite(snapshot_engine)
+        outcomes = evaluate_suite(
+            suite, small_instance, num_realizations=3, random_state=2020
+        )
+        assert set(outcomes) == set(HISTORICAL_SUITE_SNAPSHOT)
+        for name, pinned in HISTORICAL_SUITE_SNAPSHOT.items():
+            assert outcomes[name].per_realization_profits == pytest.approx(
+                pinned["profits"], rel=1e-12, abs=1e-12
+            ), name
+            assert outcomes[name].total_rr_sets == pinned["rr_sets"], name
+
+    def test_eval_jobs_path_diverges_from_default_by_design(
+        self, small_instance, snapshot_engine
+    ):
+        # eval_jobs switches to per-realization spawned algorithm streams;
+        # the outcomes are valid draws of the same protocol but not the
+        # historical sequence (callers that never opt in keep theirs).
+        suite = build_standard_suite(snapshot_engine, include_addatp=False)
+        outcomes = evaluate_suite(
+            suite, small_instance, num_realizations=3, random_state=2020, eval_jobs=1
+        )
+        assert (
+            outcomes["HATP"].per_realization_profits
+            != HISTORICAL_SUITE_SNAPSHOT["HATP"]["profits"]
+        )
+        # ...but the realization family itself is unchanged: the Baseline
+        # (a fixed seed set, no algorithm randomness) scores identically.
+        assert outcomes["Baseline"].per_realization_profits == pytest.approx(
+            HISTORICAL_SUITE_SNAPSHOT["Baseline"]["profits"]
+        )
