@@ -50,7 +50,6 @@ enumeration of :func:`repro.diffusion.spread.exact_expected_spread`.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set
 
@@ -59,6 +58,7 @@ import numpy as np
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.sampling.engine import flat_slice_indices
+from repro.utils.env import read_env_choice
 from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -79,10 +79,10 @@ def resolve_mc_backend(backend: Optional[str] = None) -> str:
       RNG streams bit-for-bit.
     """
     if backend is None:
-        raw = os.environ.get(MC_BACKEND_ENV_VAR, "").strip()
-        if not raw:
+        backend = read_env_choice(MC_BACKEND_ENV_VAR, BACKENDS)
+        if backend is None:
             return "python"
-        backend = raw
+        return backend
     backend = str(backend).strip().lower()
     if backend not in BACKENDS:
         raise ValidationError(

@@ -37,6 +37,12 @@ from repro.experiments.config import (
     ExperimentScale,
     get_scale,
 )
+from repro.experiments.journal import (
+    ResultJournal,
+    journal_path,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.experiments.plotting import ascii_bar_chart, ascii_chart
 from repro.experiments.predefined_cost import (
     hatp_vs_nonadaptive_selector,
@@ -85,6 +91,7 @@ __all__ = [
     "PAPER",
     "PROFIT_ALGORITHMS",
     "RUNTIME_ALGORITHMS",
+    "ResultJournal",
     "SCALES",
     "SMALL",
     "SMOKE",
@@ -106,7 +113,10 @@ __all__ = [
     "format_table2",
     "get_scale",
     "hatp_vs_nonadaptive_selector",
+    "journal_path",
     "merge_series",
+    "outcome_from_payload",
+    "outcome_to_payload",
     "profit_and_runtime",
     "profit_relative_range",
     "profit_series",

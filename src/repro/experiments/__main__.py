@@ -6,9 +6,14 @@ Usage examples::
     python -m repro.experiments fig2 --scale smoke --datasets nethept epinions
     python -m repro.experiments fig4b --dataset epinions --csv out/fig4b.csv
     python -m repro.experiments fig7 --scale small
+    python -m repro.experiments fig2 --journal results/fig2.journal.jsonl
+    python -m repro.experiments fig2 --resume     # continue an interrupted run
+    python -m repro.experiments clean-shm         # sweep orphaned /dev/shm segments
 
 Each subcommand regenerates one table/figure of the paper, prints the series
 as a text table, and optionally writes the long-format rows to a CSV file.
+``--journal``/``--resume`` checkpoint every data point to a JSONL file so an
+interrupted sweep can continue where it stopped (``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -32,7 +37,9 @@ from repro.experiments import (
     reproduce_table2,
     sample_size_scaling,
 )
+from repro.experiments.journal import ResultJournal, journal_path
 from repro.experiments.reporting import collect_figure_rows, write_rows_csv
+from repro.utils.exceptions import ConfigurationError
 
 EXPERIMENTS = (
     "table2",
@@ -45,7 +52,11 @@ EXPERIMENTS = (
     "fig7",
     "fig8",
     "fig9",
+    "clean-shm",
 )
+
+#: Subcommands that support --journal / --resume checkpointing.
+JOURNALED_EXPERIMENTS = frozenset(EXPERIMENTS) - {"table2", "clean-shm"}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -83,6 +94,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "realizations (default: the REPRO_MC_BACKEND environment variable, "
         "else the historical per-cascade python loop)",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="checkpoint each completed data point to this JSONL file "
+        "(default with --resume: results/<experiment>.journal.jsonl); "
+        "journal runs use per-point spawned RNG streams so interrupted "
+        "sweeps resume bit-for-bit",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed data points from the journal and compute "
+        "only the missing ones (implies --journal)",
+    )
     parser.add_argument("--csv", default=None, help="write long-format rows to this CSV file")
     parser.add_argument(
         "--plot", action="store_true", help="also render each series as an ASCII chart"
@@ -93,7 +119,24 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_experiment(args: argparse.Namespace):
+def resolve_journal(args: argparse.Namespace) -> Optional[ResultJournal]:
+    """Build the :class:`ResultJournal` the flags ask for (or ``None``).
+
+    ``--resume`` without ``--journal`` uses the default per-experiment
+    location ``results/<experiment>.journal.jsonl``.
+    """
+    if args.journal is None and not args.resume:
+        return None
+    if args.experiment not in JOURNALED_EXPERIMENTS:
+        raise ConfigurationError(
+            f"--journal/--resume is not supported for {args.experiment!r} "
+            f"(supported: {', '.join(sorted(JOURNALED_EXPERIMENTS))})"
+        )
+    path = args.journal if args.journal is not None else journal_path(args.experiment)
+    return ResultJournal(path, resume=args.resume)
+
+
+def run_experiment(args: argparse.Namespace, journal: Optional[ResultJournal] = None):
     """Dispatch to the requested driver and return its result object."""
     scale = get_scale(args.scale)
     if args.jobs is not None:
@@ -106,34 +149,80 @@ def run_experiment(args: argparse.Namespace):
     if args.experiment == "table2":
         return reproduce_table2(scale, dataset_names=args.datasets, random_state=seed)
     if args.experiment == "fig2":
-        return reproduce_figure2(scale, datasets=args.datasets, random_state=seed)
+        return reproduce_figure2(
+            scale, datasets=args.datasets, random_state=seed, journal=journal
+        )
     if args.experiment == "fig3":
-        return reproduce_figure3(scale, datasets=args.datasets, random_state=seed)
+        return reproduce_figure3(
+            scale, datasets=args.datasets, random_state=seed, journal=journal
+        )
     if args.experiment == "fig4a":
-        return reproduce_figure4a(scale, dataset=args.dataset or "epinions", random_state=seed)
+        return reproduce_figure4a(
+            scale, dataset=args.dataset or "epinions", random_state=seed, journal=journal
+        )
     if args.experiment == "fig4b":
         return epsilon_sensitivity(
-            dataset=args.dataset or "epinions", scale=scale, random_state=seed
+            dataset=args.dataset or "epinions",
+            scale=scale,
+            random_state=seed,
+            journal=journal,
         )
     if args.experiment == "fig5":
-        return reproduce_figure5(scale, datasets=args.datasets, random_state=seed)
+        return reproduce_figure5(
+            scale, datasets=args.datasets, random_state=seed, journal=journal
+        )
     if args.experiment == "fig6":
-        return reproduce_figure6(scale, datasets=args.datasets, random_state=seed)
+        return reproduce_figure6(
+            scale, datasets=args.datasets, random_state=seed, journal=journal
+        )
     if args.experiment == "fig7":
-        return reproduce_figure7(scale, dataset=args.dataset or "livejournal", random_state=seed)
+        return reproduce_figure7(
+            scale, dataset=args.dataset or "livejournal", random_state=seed, journal=journal
+        )
     if args.experiment == "fig8":
-        return reproduce_figure8(scale, dataset=args.dataset or "livejournal", random_state=seed)
+        return reproduce_figure8(
+            scale, dataset=args.dataset or "livejournal", random_state=seed, journal=journal
+        )
     if args.experiment == "fig9":
         return sample_size_scaling(
-            dataset=args.dataset or "epinions", scale=scale, random_state=seed
+            dataset=args.dataset or "epinions",
+            scale=scale,
+            random_state=seed,
+            journal=journal,
         )
     raise ValueError(f"unhandled experiment {args.experiment!r}")  # pragma: no cover
+
+
+def clean_shm() -> int:
+    """``clean-shm``: sweep shared-memory segments whose owner is dead."""
+    from repro.parallel import janitor
+
+    removed = janitor.clean_orphan_segments()
+    remaining = janitor.list_library_segments()
+    if removed:
+        print(f"removed {len(removed)} orphaned segment(s):")
+        for name in removed:
+            print(f"  {name}")
+    else:
+        print("no orphaned segments found")
+    if remaining:
+        print(f"{len(remaining)} segment(s) belong to live processes and were kept")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    result = run_experiment(args)
+    if args.experiment == "clean-shm":
+        if args.journal is not None or args.resume:
+            raise ConfigurationError("--journal/--resume make no sense with clean-shm")
+        return clean_shm()
+    journal = resolve_journal(args)
+    try:
+        result = run_experiment(args, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
     if args.experiment == "table2":
         print(format_table2(result))

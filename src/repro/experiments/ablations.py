@@ -25,6 +25,11 @@ from typing import Dict, Optional
 from repro.core.targets import build_spread_calibrated_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
+from repro.experiments.journal import (
+    ResultJournal,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AlgorithmSpec,
@@ -61,12 +66,29 @@ def _instance_and_realizations(
     return instance, realizations, rng
 
 
+def _checkpointed(journal, key, compute):
+    """Replay ``key`` from the journal or compute-and-record it.
+
+    The ablations thread every evaluation through this: each call site
+    hands an already-spawned RNG state to ``compute``, so replayed and
+    recomputed evaluations never share a stream and an interrupted
+    ablation resumes bit-for-bit.
+    """
+    if journal is not None and key in journal:
+        return outcome_from_payload(journal.get(key))
+    outcome = compute()
+    if journal is not None:
+        journal.record(key, outcome_to_payload(outcome))
+    return outcome
+
+
 def error_mode_ablation(
     dataset: str = "nethept",
     k: int = 10,
     cost_setting: str = "degree",
     scale: ExperimentScale = SMOKE,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """Hybrid (HATP) versus additive (ADDATP) error: profit and RR-set cost."""
     instance, realizations, rng = _instance_and_realizations(
@@ -80,22 +102,33 @@ def error_mode_ablation(
     addatp_spec = AlgorithmSpec(
         name="ADDATP", kind="adaptive", factory=partial(_make_addatp, engine, jobs)
     )
+    prefix = f"ablation-error-mode/{dataset}/{cost_setting}/k={k}/"
+    states = rng.spawn(2) if journal is not None else [rng, rng]
+    eval_jobs = engine.eval_jobs if journal is None else (engine.eval_jobs or 1)
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        hatp = evaluate_adaptive(
-            hatp_spec,
-            instance,
-            realizations,
-            rng,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
+        hatp = _checkpointed(
+            journal,
+            prefix + "HATP",
+            lambda: evaluate_adaptive(
+                hatp_spec,
+                instance,
+                realizations,
+                states[0],
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
+            ),
         )
-        addatp = evaluate_adaptive(
-            addatp_spec,
-            instance,
-            realizations,
-            rng,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
+        addatp = _checkpointed(
+            journal,
+            prefix + "ADDATP",
+            lambda: evaluate_adaptive(
+                addatp_spec,
+                instance,
+                realizations,
+                states[1],
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
+            ),
         )
     return SeriesResult(
         experiment_id="ablation-error-mode",
@@ -121,6 +154,7 @@ def adaptivity_ablation(
     cost_setting: str = "degree",
     scale: ExperimentScale = SMOKE,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """HATP (adaptive) versus HNTP (nonadaptive) with identical error schedules."""
     instance, realizations, rng = _instance_and_realizations(
@@ -134,23 +168,34 @@ def adaptivity_ablation(
     hntp_spec = AlgorithmSpec(
         name="HNTP", kind="nonadaptive", factory=partial(_make_hntp, engine, jobs)
     )
+    prefix = f"ablation-adaptivity/{dataset}/{cost_setting}/k={k}/"
+    states = rng.spawn(2) if journal is not None else [rng, rng]
+    eval_jobs = engine.eval_jobs if journal is None else (engine.eval_jobs or 1)
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        adaptive = evaluate_adaptive(
-            hatp_spec,
-            instance,
-            realizations,
-            rng,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
+        adaptive = _checkpointed(
+            journal,
+            prefix + "HATP",
+            lambda: evaluate_adaptive(
+                hatp_spec,
+                instance,
+                realizations,
+                states[0],
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
+            ),
         )
-        nonadaptive = evaluate_nonadaptive(
-            hntp_spec,
-            instance,
-            realizations,
-            rng,
-            mc_backend=engine.mc_backend,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
+        nonadaptive = _checkpointed(
+            journal,
+            prefix + "HNTP",
+            lambda: evaluate_nonadaptive(
+                hntp_spec,
+                instance,
+                realizations,
+                states[1],
+                mc_backend=engine.mc_backend,
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
+            ),
         )
     return SeriesResult(
         experiment_id="ablation-adaptivity",
@@ -177,6 +222,7 @@ def sample_cap_ablation(
     scale: ExperimentScale = SMOKE,
     caps: Optional[list] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """HATP profit as a function of the per-round RR-set cap."""
     instance, realizations, rng = _instance_and_realizations(
@@ -185,22 +231,30 @@ def sample_cap_ablation(
     engine = scale.engine
     jobs = engine.sampling_jobs()
     cap_values = caps if caps is not None else [100, 200, 400, 800]
+    prefix = f"ablation-sample-cap/{dataset}/{cost_setting}/k={k}/"
+    states = rng.spawn(len(cap_values)) if journal is not None else [rng] * len(cap_values)
+    eval_jobs = engine.eval_jobs if journal is None else (engine.eval_jobs or 1)
     profits, rr_counts = [], []
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        for cap in cap_values:
+        for cap, state in zip(cap_values, states):
             capped_engine = replace(engine, max_samples_per_round=cap)
             spec = AlgorithmSpec(
                 name=f"HATP(cap={cap})",
                 kind="adaptive",
                 factory=partial(_make_hatp, capped_engine, jobs),
             )
-            outcome = evaluate_adaptive(
-                spec,
-                instance,
-                realizations,
-                rng,
-                eval_jobs=engine.eval_jobs,
-                eval_pool=pool,
+            outcome = _checkpointed(
+                journal,
+                f"{prefix}cap={cap}",
+                partial(
+                    evaluate_adaptive,
+                    spec,
+                    instance,
+                    realizations,
+                    state,
+                    eval_jobs=eval_jobs,
+                    eval_pool=pool,
+                ),
             )
             profits.append(outcome.mean_profit)
             rr_counts.append(float(outcome.total_rr_sets))
@@ -221,6 +275,7 @@ def dynamic_threshold_ablation(
     cost_setting: str = "degree",
     scale: ExperimentScale = SMOKE,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, float]:
     """ADDATP with fixed versus dynamic C2 threshold (the (1−ε)/3 extension)."""
     instance, realizations, rng = _instance_and_realizations(
@@ -228,31 +283,42 @@ def dynamic_threshold_ablation(
     )
     engine = scale.engine
     jobs = engine.sampling_jobs()
+    prefix = f"ablation-dynamic-threshold/{dataset}/{cost_setting}/k={k}/"
+    states = rng.spawn(2) if journal is not None else [rng, rng]
+    eval_jobs = engine.eval_jobs if journal is None else (engine.eval_jobs or 1)
 
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        fixed = evaluate_adaptive(
-            AlgorithmSpec(
-                "ADDATP-fixed",
-                "adaptive",
-                partial(_make_addatp, engine, jobs, dynamic_threshold=False),
+        fixed = _checkpointed(
+            journal,
+            prefix + "ADDATP-fixed",
+            lambda: evaluate_adaptive(
+                AlgorithmSpec(
+                    "ADDATP-fixed",
+                    "adaptive",
+                    partial(_make_addatp, engine, jobs, dynamic_threshold=False),
+                ),
+                instance,
+                realizations,
+                states[0],
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
             ),
-            instance,
-            realizations,
-            rng,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
         )
-        dynamic = evaluate_adaptive(
-            AlgorithmSpec(
-                "ADDATP-dynamic",
-                "adaptive",
-                partial(_make_addatp, engine, jobs, dynamic_threshold=True),
+        dynamic = _checkpointed(
+            journal,
+            prefix + "ADDATP-dynamic",
+            lambda: evaluate_adaptive(
+                AlgorithmSpec(
+                    "ADDATP-dynamic",
+                    "adaptive",
+                    partial(_make_addatp, engine, jobs, dynamic_threshold=True),
+                ),
+                instance,
+                realizations,
+                states[1],
+                eval_jobs=eval_jobs,
+                eval_pool=pool,
             ),
-            instance,
-            realizations,
-            rng,
-            eval_jobs=engine.eval_jobs,
-            eval_pool=pool,
         )
     return {
         "fixed_profit": fixed.mean_profit,

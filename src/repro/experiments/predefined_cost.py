@@ -24,6 +24,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.targets import build_predefined_cost_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
+from repro.experiments.journal import (
+    ResultJournal,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AlgorithmSpec,
@@ -46,6 +51,7 @@ def hatp_vs_nonadaptive_selector(
     lambda_values: Optional[Sequence[float]] = None,
     max_target_size: Optional[int] = 60,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """HATP versus the nonadaptive selector that produced its target set.
 
@@ -53,6 +59,10 @@ def hatp_vs_nonadaptive_selector(
     series contains one profit line for HATP and one for the selector, over
     the λ grid (note the paper plots λ in decreasing order since smaller λ
     means a larger target set).
+
+    With a ``journal``, every λ point checkpoints its two evaluations
+    (and the derived target size) under its own spawned RNG stream; a
+    fully journaled point skips even its instance construction on resume.
     """
     if selector not in {"ndg", "nsg"}:
         raise ConfigurationError("selector must be 'ndg' or 'nsg'")
@@ -62,12 +72,30 @@ def hatp_vs_nonadaptive_selector(
     )
     engine = scale.engine
     values = list(lambda_values if lambda_values is not None else scale.lambda_values)
+    figure = "fig7" if selector == "ndg" else "fig8"
+    point_states = rng.spawn(len(values)) if journal is not None else [None] * len(values)
 
     hatp_profits: List[float] = []
     selector_profits: List[float] = []
     target_sizes: List[int] = []
     with shared_eval_pool(graph, engine.eval_jobs) as pool:
-        for cost_ratio in values:
+        for cost_ratio, point_state in zip(values, point_states):
+            prefix = f"{figure}/{dataset}/{cost_setting}/lambda={cost_ratio}/"
+            meta_key = prefix + "meta"
+            hatp_key = prefix + "HATP"
+            selector_key = prefix + selector.upper()
+            if journal is not None and journal.has_all(
+                [meta_key, hatp_key, selector_key]
+            ):
+                target_sizes.append(int(journal.get(meta_key)["target_size"]))
+                hatp_profits.append(
+                    outcome_from_payload(journal.get(hatp_key)).mean_profit
+                )
+                selector_profits.append(
+                    outcome_from_payload(journal.get(selector_key)).mean_profit
+                )
+                continue
+            point_rng = rng if journal is None else ensure_rng(point_state)
             instance = build_predefined_cost_instance(
                 graph,
                 cost_ratio=cost_ratio,
@@ -75,40 +103,58 @@ def hatp_vs_nonadaptive_selector(
                 selector=selector,
                 num_samples=scale.num_rr_sets_instance,
                 max_target_size=max_target_size,
-                random_state=rng,
+                random_state=point_rng,
             )
             target_sizes.append(instance.k)
-            realizations = sample_realizations(graph, scale.num_realizations, rng)
+            realizations = sample_realizations(graph, scale.num_realizations, point_rng)
+            # One spawned stream per algorithm: replaying one from the
+            # journal must not shift the other's randomness.
+            alg_states = (
+                point_rng.spawn(2) if journal is not None else [point_rng, point_rng]
+            )
+            if journal is not None:
+                journal.record(meta_key, {"target_size": int(instance.k)})
 
-            hatp_spec = AlgorithmSpec(
-                name="HATP",
-                kind="adaptive",
-                factory=partial(_make_hatp, engine, engine.sampling_jobs()),
-            )
-            hatp_outcome = evaluate_adaptive(
-                hatp_spec,
-                instance,
-                realizations,
-                rng,
-                eval_jobs=engine.eval_jobs,
-                eval_pool=pool,
-            )
+            hatp_outcome = None
+            if journal is not None and hatp_key in journal:
+                hatp_outcome = outcome_from_payload(journal.get(hatp_key))
+            else:
+                hatp_spec = AlgorithmSpec(
+                    name="HATP",
+                    kind="adaptive",
+                    factory=partial(_make_hatp, engine, engine.sampling_jobs()),
+                )
+                hatp_outcome = evaluate_adaptive(
+                    hatp_spec,
+                    instance,
+                    realizations,
+                    alg_states[0],
+                    eval_jobs=engine.eval_jobs if journal is None else (engine.eval_jobs or 1),
+                    eval_pool=pool,
+                )
+                if journal is not None:
+                    journal.record(hatp_key, outcome_to_payload(hatp_outcome))
             hatp_profits.append(hatp_outcome.mean_profit)
 
             # The nonadaptive selector's own profit is that of seeding its
             # whole output (the target set) in one batch.
-            selector_spec = AlgorithmSpec(
-                name=selector.upper(), kind="fixed", factory=_make_baseline
-            )
-            selector_outcome = evaluate_nonadaptive(
-                selector_spec,
-                instance,
-                realizations,
-                rng,
-                mc_backend=engine.mc_backend,
-                eval_jobs=engine.eval_jobs,
-                eval_pool=pool,
-            )
+            if journal is not None and selector_key in journal:
+                selector_outcome = outcome_from_payload(journal.get(selector_key))
+            else:
+                selector_spec = AlgorithmSpec(
+                    name=selector.upper(), kind="fixed", factory=_make_baseline
+                )
+                selector_outcome = evaluate_nonadaptive(
+                    selector_spec,
+                    instance,
+                    realizations,
+                    alg_states[1],
+                    mc_backend=engine.mc_backend,
+                    eval_jobs=engine.eval_jobs if journal is None else (engine.eval_jobs or 1),
+                    eval_pool=pool,
+                )
+                if journal is not None:
+                    journal.record(selector_key, outcome_to_payload(selector_outcome))
             selector_profits.append(selector_outcome.mean_profit)
 
     return SeriesResult(
@@ -131,14 +177,15 @@ def reproduce_figure7(
     scale: ExperimentScale = SMOKE,
     dataset: str = "livejournal",
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 7: HATP vs NDG under both cost settings."""
     return {
         "degree": hatp_vs_nonadaptive_selector(
-            "ndg", dataset, "degree", scale, random_state=random_state
+            "ndg", dataset, "degree", scale, random_state=random_state, journal=journal
         ),
         "uniform": hatp_vs_nonadaptive_selector(
-            "ndg", dataset, "uniform", scale, random_state=random_state
+            "ndg", dataset, "uniform", scale, random_state=random_state, journal=journal
         ),
     }
 
@@ -147,13 +194,14 @@ def reproduce_figure8(
     scale: ExperimentScale = SMOKE,
     dataset: str = "livejournal",
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 8: HATP vs NSG under both cost settings."""
     return {
         "degree": hatp_vs_nonadaptive_selector(
-            "nsg", dataset, "degree", scale, random_state=random_state
+            "nsg", dataset, "degree", scale, random_state=random_state, journal=journal
         ),
         "uniform": hatp_vs_nonadaptive_selector(
-            "nsg", dataset, "uniform", scale, random_state=random_state
+            "nsg", dataset, "uniform", scale, random_state=random_state, journal=journal
         ),
     }

@@ -18,12 +18,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.targets import TPMInstance, build_spread_calibrated_instance
 from repro.experiments.config import ExperimentScale, SMOKE
+from repro.experiments.journal import ResultJournal, outcome_from_payload
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AggregateOutcome,
     build_standard_suite,
     evaluate_suite,
     shared_eval_pool,
+    suite_journal_keys,
 )
 from repro.graphs import datasets as dataset_registry
 from repro.utils.rng import RandomState, ensure_rng
@@ -35,39 +37,62 @@ def sweep_target_sizes(
     scale: ExperimentScale = SMOKE,
     k_values: Optional[Sequence[int]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[int, Dict[str, AggregateOutcome]]:
     """Run the full algorithm suite for every target size ``k``.
 
     Returns ``{k: {algorithm: AggregateOutcome}}`` — the raw material both
     the profit figures (Fig. 2–4) and the running-time figures (Fig. 5–6)
     are extracted from.
+
+    With a ``journal``, every ``(k, algorithm)`` evaluation checkpoints as
+    it completes and completed points are replayed on resume; each ``k``
+    gets its own spawned RNG stream so the replayed/ recomputed split never
+    shifts another point's randomness (a fully journaled ``k`` skips even
+    its instance construction).
     """
     rng = ensure_rng(random_state)
     graph = dataset_registry.load_proxy(
         dataset, nodes=scale.nodes_for(dataset), random_state=rng
     )
+    k_list = list(k_values if k_values is not None else scale.k_values)
+    point_states = rng.spawn(len(k_list)) if journal is not None else [None] * len(k_list)
     sweep: Dict[int, Dict[str, AggregateOutcome]] = {}
     with shared_eval_pool(graph, scale.engine.eval_jobs) as pool:
-        for k in k_values if k_values is not None else scale.k_values:
+        for k, point_state in zip(k_list, point_states):
             k = min(k, graph.n)
+            suite = build_standard_suite(
+                scale.engine, include_addatp=k <= scale.include_addatp_up_to_k
+            )
+            point_rng = rng
+            prefix = ""
+            if journal is not None:
+                prefix = f"{dataset}/{cost_setting}/k={k}/"
+                keys = suite_journal_keys(suite, prefix)
+                if journal.has_all(keys):
+                    sweep[k] = {
+                        spec.name: outcome_from_payload(journal.get(key))
+                        for spec, key in zip(suite, keys)
+                    }
+                    continue
+                point_rng = ensure_rng(point_state)
             instance = build_spread_calibrated_instance(
                 graph,
                 k=k,
                 cost_setting=cost_setting,
                 num_rr_sets=scale.num_rr_sets_instance,
-                random_state=rng,
-            )
-            suite = build_standard_suite(
-                scale.engine, include_addatp=k <= scale.include_addatp_up_to_k
+                random_state=point_rng,
             )
             sweep[k] = evaluate_suite(
                 suite,
                 instance,
                 num_realizations=scale.num_realizations,
-                random_state=rng,
+                random_state=point_rng,
                 mc_backend=scale.engine.mc_backend,
                 eval_jobs=scale.engine.eval_jobs,
                 eval_pool=pool,
+                journal=journal,
+                journal_prefix=prefix,
             )
     return sweep
 
@@ -79,10 +104,13 @@ def profit_series(
     experiment_id: str = "fig2",
     random_state: RandomState = 0,
     sweep: Optional[Dict[int, Dict[str, AggregateOutcome]]] = None,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """Profit-versus-``k`` series for one dataset and cost setting."""
     if sweep is None:
-        sweep = sweep_target_sizes(dataset, cost_setting, scale, random_state=random_state)
+        sweep = sweep_target_sizes(
+            dataset, cost_setting, scale, random_state=random_state, journal=journal
+        )
     k_values = sorted(sweep)
     algorithms: List[str] = []
     for outcomes in sweep.values():
@@ -110,12 +138,18 @@ def reproduce_figure2(
     scale: ExperimentScale = SMOKE,
     datasets: Optional[Sequence[str]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 2: profit under the degree-proportional cost setting, per dataset."""
     names = datasets if datasets is not None else scale.datasets
     return {
         name: profit_series(
-            name, "degree", scale, experiment_id="fig2", random_state=random_state
+            name,
+            "degree",
+            scale,
+            experiment_id="fig2",
+            random_state=random_state,
+            journal=journal,
         )
         for name in names
     }
@@ -125,12 +159,18 @@ def reproduce_figure3(
     scale: ExperimentScale = SMOKE,
     datasets: Optional[Sequence[str]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 3: profit under the uniform cost setting, per dataset."""
     names = datasets if datasets is not None else scale.datasets
     return {
         name: profit_series(
-            name, "uniform", scale, experiment_id="fig3", random_state=random_state
+            name,
+            "uniform",
+            scale,
+            experiment_id="fig3",
+            random_state=random_state,
+            journal=journal,
         )
         for name in names
     }
@@ -140,8 +180,14 @@ def reproduce_figure4a(
     scale: ExperimentScale = SMOKE,
     dataset: str = "epinions",
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """Fig. 4(a): profit under the random cost setting (Epinions in the paper)."""
     return profit_series(
-        dataset, "random", scale, experiment_id="fig4a", random_state=random_state
+        dataset,
+        "random",
+        scale,
+        experiment_id="fig4a",
+        random_state=random_state,
+        journal=journal,
     )

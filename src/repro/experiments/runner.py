@@ -53,6 +53,11 @@ from repro.diffusion.realization import (
     sample_realizations,
 )
 from repro.experiments.config import EngineParameters
+from repro.experiments.journal import (
+    ResultJournal,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.parallel.eval_pool import (
     EvaluationPool,
     RealizationTicket,
@@ -334,6 +339,17 @@ def evaluate_nonadaptive(
     )
 
 
+def suite_journal_keys(
+    specs: Sequence[AlgorithmSpec], journal_prefix: str
+) -> List[str]:
+    """The journal keys :func:`evaluate_suite` records one data point under.
+
+    Sweep drivers use this to skip a fully journaled point *before*
+    paying for its instance construction.
+    """
+    return [f"{journal_prefix}{spec.name}" for spec in specs]
+
+
 def evaluate_suite(
     specs: Sequence[AlgorithmSpec],
     instance: TPMInstance,
@@ -342,6 +358,8 @@ def evaluate_suite(
     mc_backend: Optional[str] = None,
     eval_jobs: Optional[int] = None,
     eval_pool: Optional[EvaluationPool] = None,
+    journal: Optional[ResultJournal] = None,
+    journal_prefix: str = "",
 ) -> Dict[str, AggregateOutcome]:
     """Evaluate every algorithm of ``specs`` on shared realizations.
 
@@ -360,9 +378,29 @@ def evaluate_suite(
     should pass an ``eval_pool`` (see :func:`shared_eval_pool`) so the
     graph is published to the workers once per sweep rather than once
     per call.
+
+    ``journal`` switches on checkpoint/resume: each algorithm's outcome
+    is recorded under ``journal_prefix + spec.name`` the moment it
+    completes, and already-recorded algorithms are replayed from the
+    journal instead of re-run.  Journal mode gives every algorithm its
+    own spawned RNG stream (and carries realizations as tickets), so a
+    resumed run is bit-for-bit identical to an uninterrupted journaled
+    run — see ``docs/robustness.md`` for the stream contract.
     """
     rng = ensure_rng(random_state)
     resolved = resolve_eval_jobs(eval_jobs)
+    if journal is not None:
+        return _evaluate_suite_journaled(
+            specs,
+            instance,
+            num_realizations,
+            rng,
+            mc_backend,
+            resolved,
+            eval_pool,
+            journal,
+            journal_prefix,
+        )
     if resolved is None and eval_pool is None:
         realizations = sample_realizations(instance.graph, num_realizations, rng)
         outcomes: Dict[str, AggregateOutcome] = {}
@@ -404,6 +442,69 @@ def evaluate_suite(
     if eval_pool is not None:
         return _run(eval_pool)
     with EvaluationPool(instance.graph, eval_jobs=resolved) as pool:
+        return _run(pool)
+
+
+def _evaluate_suite_journaled(
+    specs: Sequence[AlgorithmSpec],
+    instance: TPMInstance,
+    num_realizations: int,
+    rng: np.random.Generator,
+    mc_backend: Optional[str],
+    resolved_jobs: Optional[int],
+    eval_pool: Optional[EvaluationPool],
+    journal: ResultJournal,
+    journal_prefix: str,
+) -> Dict[str, AggregateOutcome]:
+    """Journal-mode suite evaluation: per-algorithm checkpoints.
+
+    The stream layout is a pure function of ``rng``'s state on entry:
+    the first ``num_realizations`` spawned children are the realization
+    family (the same family every evaluation mode uses), the next
+    ``len(specs)`` children are one algorithm stream per spec.  Whether
+    an algorithm is computed or replayed from the journal never touches
+    another algorithm's stream — that is what makes an interrupted
+    sweep's resume bit-for-bit.
+    """
+    tickets = [
+        RealizationTicket.from_state(state)
+        for state in rng.spawn(num_realizations)
+    ]
+    algorithm_states = rng.spawn(len(specs))
+    keys = suite_journal_keys(specs, journal_prefix)
+
+    def _run(pool: Optional[EvaluationPool]) -> Dict[str, AggregateOutcome]:
+        outcomes: Dict[str, AggregateOutcome] = {}
+        for spec, state, key in zip(specs, algorithm_states, keys):
+            if key in journal:
+                outcomes[spec.name] = outcome_from_payload(journal.get(key))
+                continue
+            if spec.kind == "adaptive":
+                outcome = evaluate_adaptive(
+                    spec,
+                    instance,
+                    tickets,
+                    state,
+                    eval_jobs=resolved_jobs or 1,
+                    eval_pool=pool,
+                )
+            else:
+                outcome = evaluate_nonadaptive(
+                    spec,
+                    instance,
+                    tickets,
+                    state,
+                    mc_backend=mc_backend,
+                    eval_jobs=resolved_jobs or 1,
+                    eval_pool=pool,
+                )
+            journal.record(key, outcome_to_payload(outcome))
+            outcomes[spec.name] = outcome
+        return outcomes
+
+    if eval_pool is not None or resolved_jobs is None:
+        return _run(eval_pool)
+    with EvaluationPool(instance.graph, eval_jobs=resolved_jobs) as pool:
         return _run(pool)
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import RUNTIME_ALGORITHMS, ExperimentScale, SMOKE
+from repro.experiments.journal import ResultJournal
 from repro.experiments.profit_experiments import sweep_target_sizes
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import AggregateOutcome
@@ -35,10 +36,13 @@ def runtime_series(
     random_state: RandomState = 0,
     sweep: Optional[Dict[int, Dict[str, AggregateOutcome]]] = None,
     algorithms: Sequence[str] = RUNTIME_ALGORITHMS,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
     """Running-time-versus-``k`` series for one dataset and cost setting."""
     if sweep is None:
-        sweep = sweep_target_sizes(dataset, cost_setting, scale, random_state=random_state)
+        sweep = sweep_target_sizes(
+            dataset, cost_setting, scale, random_state=random_state, journal=journal
+        )
     k_values = sorted(sweep)
     series: Dict[str, List[float]] = {}
     for name in algorithms:
@@ -61,12 +65,18 @@ def reproduce_figure5(
     scale: ExperimentScale = SMOKE,
     datasets: Optional[Sequence[str]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 5: running time under the degree-proportional cost setting."""
     names = datasets if datasets is not None else scale.datasets
     return {
         name: runtime_series(
-            name, "degree", scale, experiment_id="fig5", random_state=random_state
+            name,
+            "degree",
+            scale,
+            experiment_id="fig5",
+            random_state=random_state,
+            journal=journal,
         )
         for name in names
     }
@@ -76,12 +86,18 @@ def reproduce_figure6(
     scale: ExperimentScale = SMOKE,
     datasets: Optional[Sequence[str]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 6: running time under the uniform cost setting."""
     names = datasets if datasets is not None else scale.datasets
     return {
         name: runtime_series(
-            name, "uniform", scale, experiment_id="fig6", random_state=random_state
+            name,
+            "uniform",
+            scale,
+            experiment_id="fig6",
+            random_state=random_state,
+            journal=journal,
         )
         for name in names
     }

@@ -17,6 +17,11 @@ from typing import Optional, Sequence
 from repro.core.targets import build_spread_calibrated_instance
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import ExperimentScale, SMOKE
+from repro.experiments.journal import (
+    ResultJournal,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AlgorithmSpec,
@@ -37,8 +42,14 @@ def sample_size_scaling(
     scale_factors: Optional[Sequence[int]] = None,
     base_samples: Optional[int] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
-    """Fig. 9: profit and running time of NSG/NDG versus sample-size scale."""
+    """Fig. 9: profit and running time of NSG/NDG versus sample-size scale.
+
+    With a ``journal``, each ``(factor, algorithm)`` evaluation
+    checkpoints as it completes (per-factor spawned RNG streams), so
+    ``--resume`` recomputes only missing points.
+    """
     rng = ensure_rng(random_state)
     graph = dataset_registry.load_proxy(
         dataset, nodes=scale.nodes_for(dataset), random_state=rng
@@ -58,42 +69,43 @@ def sample_size_scaling(
 
     engine = scale.engine
     jobs = engine.sampling_jobs()
+    point_states = rng.spawn(len(factors)) if journal is not None else [None] * len(factors)
     nsg_profit, nsg_runtime, ndg_profit, ndg_runtime = [], [], [], []
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        for factor in factors:
+        for factor, point_state in zip(factors, point_states):
             scaled_engine = replace(engine, baseline_sample_size=base * factor)
-            nsg_spec = AlgorithmSpec(
-                name="NSG",
-                kind="nonadaptive",
-                factory=partial(_make_nsg, scaled_engine, jobs),
-            )
-            ndg_spec = AlgorithmSpec(
-                name="NDG",
-                kind="nonadaptive",
-                factory=partial(_make_ndg, scaled_engine, jobs),
-            )
-            nsg_outcome = evaluate_nonadaptive(
-                nsg_spec,
-                instance,
-                realizations,
-                rng,
-                mc_backend=engine.mc_backend,
-                eval_jobs=engine.eval_jobs,
-                eval_pool=pool,
-            )
-            ndg_outcome = evaluate_nonadaptive(
-                ndg_spec,
-                instance,
-                realizations,
-                rng,
-                mc_backend=engine.mc_backend,
-                eval_jobs=engine.eval_jobs,
-                eval_pool=pool,
-            )
-            nsg_profit.append(nsg_outcome.mean_profit)
-            nsg_runtime.append(nsg_outcome.selection_runtime_seconds)
-            ndg_profit.append(ndg_outcome.mean_profit)
-            ndg_runtime.append(ndg_outcome.selection_runtime_seconds)
+            # One spawned stream per (factor, algorithm): replaying NSG
+            # from the journal must not shift NDG's randomness.
+            alg_states = point_state.spawn(2) if journal is not None else [rng, rng]
+            outcomes = {}
+            for (name, maker), alg_state in zip(
+                (("NSG", _make_nsg), ("NDG", _make_ndg)), alg_states
+            ):
+                key = f"fig9/{dataset}/{cost_setting}/k={k}/x{factor}/{name}"
+                if journal is not None and key in journal:
+                    outcomes[name] = outcome_from_payload(journal.get(key))
+                    continue
+                spec = AlgorithmSpec(
+                    name=name,
+                    kind="nonadaptive",
+                    factory=partial(maker, scaled_engine, jobs),
+                )
+                outcome = evaluate_nonadaptive(
+                    spec,
+                    instance,
+                    realizations,
+                    alg_state,
+                    mc_backend=engine.mc_backend,
+                    eval_jobs=engine.eval_jobs if journal is None else (engine.eval_jobs or 1),
+                    eval_pool=pool,
+                )
+                if journal is not None:
+                    journal.record(key, outcome_to_payload(outcome))
+                outcomes[name] = outcome
+            nsg_profit.append(outcomes["NSG"].mean_profit)
+            nsg_runtime.append(outcomes["NSG"].selection_runtime_seconds)
+            ndg_profit.append(outcomes["NDG"].mean_profit)
+            ndg_runtime.append(outcomes["NDG"].selection_runtime_seconds)
 
     return SeriesResult(
         experiment_id="fig9",

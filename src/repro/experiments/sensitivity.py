@@ -14,6 +14,11 @@ from typing import Optional, Sequence
 
 from repro.core.targets import build_spread_calibrated_instance
 from repro.experiments.config import ExperimentScale, SMOKE
+from repro.experiments.journal import (
+    ResultJournal,
+    outcome_from_payload,
+    outcome_to_payload,
+)
 from repro.experiments.results import SeriesResult
 from repro.experiments.runner import (
     AlgorithmSpec,
@@ -33,8 +38,13 @@ def epsilon_sensitivity(
     scale: ExperimentScale = SMOKE,
     epsilon_values: Optional[Sequence[float]] = None,
     random_state: RandomState = 0,
+    journal: Optional[ResultJournal] = None,
 ) -> SeriesResult:
-    """Fig. 4(b): HATP profit as a function of the relative-error threshold ε."""
+    """Fig. 4(b): HATP profit as a function of the relative-error threshold ε.
+
+    With a ``journal``, each ε value checkpoints as it completes (its own
+    spawned RNG stream), so ``--resume`` recomputes only missing points.
+    """
     rng = ensure_rng(random_state)
     graph = dataset_registry.load_proxy(
         dataset, nodes=scale.nodes_for(dataset), random_state=rng
@@ -53,10 +63,17 @@ def epsilon_sensitivity(
 
     values = list(epsilon_values if epsilon_values is not None else scale.epsilon_values)
     jobs = engine.sampling_jobs()
+    point_states = rng.spawn(len(values)) if journal is not None else [None] * len(values)
     profits = []
     runtimes = []
     with shared_eval_pool(instance.graph, engine.eval_jobs) as pool:
-        for epsilon in values:
+        for epsilon, point_state in zip(values, point_states):
+            key = f"fig4b/{dataset}/{cost_setting}/k={k}/eps={epsilon}"
+            if journal is not None and key in journal:
+                outcome = outcome_from_payload(journal.get(key))
+                profits.append(outcome.mean_profit)
+                runtimes.append(outcome.selection_runtime_seconds)
+                continue
             eps_engine = replace(
                 engine, epsilon=epsilon, epsilon0=max(engine.epsilon0, epsilon)
             )
@@ -69,10 +86,12 @@ def epsilon_sensitivity(
                 spec,
                 instance,
                 realizations,
-                rng,
-                eval_jobs=engine.eval_jobs,
+                rng if journal is None else point_state,
+                eval_jobs=engine.eval_jobs if journal is None else (engine.eval_jobs or 1),
                 eval_pool=pool,
             )
+            if journal is not None:
+                journal.record(key, outcome_to_payload(outcome))
             profits.append(outcome.mean_profit)
             runtimes.append(outcome.selection_runtime_seconds)
 

@@ -29,10 +29,17 @@ garbage-collected without an explicit close (error or interrupt paths).
 The parent is the single owner of the segments' lifetime: worker
 attachments re-register the names with the shared ``resource_tracker``
 (an idempotent no-op) but never unregister or unlink them.
+
+Segments are named ``repro-shm-<owner pid>-<token>`` and registered with
+the shared-memory janitor (:mod:`repro.parallel.janitor`), which unlinks
+them on interpreter exit and SIGTERM; segments orphaned by an unclean
+death (SIGKILL of the whole process group) can be swept later with
+``repro-experiments clean-shm``.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
+import logging
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -41,7 +48,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graphs.graph import ProbabilisticGraph
-from repro.utils.exceptions import ValidationError
+from repro.parallel import janitor
+from repro.utils.exceptions import ValidationError, WorkerError
+
+logger = logging.getLogger("repro.parallel")
 
 #: All array keys a broker may publish, in publication order.  The
 #: incoming CSR feeds reverse RR-set sampling, the outgoing CSR feeds the
@@ -81,6 +91,21 @@ class SharedGraphSpec:
     n: int
     m: int
     arrays: Dict[str, SharedArraySpec]
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a janitor-tagged segment, retrying on (unlikely) name clashes."""
+    for _ in range(8):
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=size, name=janitor.tagged_segment_name()
+            )
+        except FileExistsError:  # pragma: no cover - 32-bit token clash
+            continue
+    raise WorkerError(
+        "could not allocate a uniquely named shared-memory segment "
+        "(repeated name clashes in /dev/shm)"
+    )
 
 
 def _unlink_segments(segments: List[shared_memory.SharedMemory]) -> None:
@@ -143,14 +168,13 @@ class SharedGraphBroker:
                 out_offsets=out_offsets, out_targets=out_targets, out_probs=out_probs
             )
         arrays["active_mask"] = np.ones(base.n, dtype=bool)
+        key = "(none)"
         try:
             for key in SHARED_ARRAY_KEYS:
                 if key not in arrays:
                     continue
                 array = np.ascontiguousarray(arrays[key])
-                segment = shared_memory.SharedMemory(
-                    create=True, size=max(array.nbytes, 1)
-                )
+                segment = _create_segment(max(array.nbytes, 1))
                 self._segments.append(segment)
                 view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
                 view[...] = array
@@ -158,13 +182,29 @@ class SharedGraphBroker:
                 specs[key] = SharedArraySpec(
                     name=segment.name, shape=array.shape, dtype=array.dtype.str
                 )
-        except BaseException:
+        except Exception as exc:
+            published = [spec.name for spec in specs.values()]
+            logger.warning(
+                "publishing %r failed while creating %d segment(s): %s — "
+                "unlinking the partial publication",
+                key,
+                len(self._segments),
+                exc,
+            )
+            _unlink_segments(self._segments)
+            raise WorkerError(
+                f"could not publish graph array {key!r} to shared memory: {exc}",
+                segments=published,
+            ) from exc
+        except BaseException:  # interrupts: release, do not re-wrap
             _unlink_segments(self._segments)
             raise
         self._spec = SharedGraphSpec(n=base.n, m=base.m, arrays=specs)
         # Unlinks survive lost references (error/interrupt paths) — the
-        # finalizer must not capture `self`, only the segment list.
+        # finalizer must not capture `self`, only the segment list.  The
+        # janitor additionally unlinks on interpreter exit and SIGTERM.
         self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
+        janitor.register_segments(self._segments)
 
     @property
     def base(self) -> ProbabilisticGraph:
@@ -376,6 +416,16 @@ def attach_shared_graph(
     """
     handles: List[shared_memory.SharedMemory] = []
     arrays: Dict[str, np.ndarray] = {}
+
+    def _release_handles() -> None:
+        for segment in handles:
+            try:
+                segment.close()
+            except Exception:
+                pass
+
+    key = "(none)"
+    array_spec = None
     try:
         for key in SHARED_ARRAY_KEYS:
             if key not in spec.arrays:
@@ -386,12 +436,29 @@ def attach_shared_graph(
             arrays[key] = np.ndarray(
                 array_spec.shape, dtype=np.dtype(array_spec.dtype), buffer=segment.buf
             )
-    except BaseException:
-        for segment in handles:
-            try:
-                segment.close()
-            except Exception:
-                pass
+    except FileNotFoundError as exc:
+        _release_handles()
+        raise ValidationError(
+            f"shared-memory segment {array_spec.name!r} (graph array {key!r}) "
+            f"does not exist; the publishing process most likely exited or "
+            f"closed its SharedGraphBroker while this worker was attaching. "
+            f"Recreate the pool; `repro-experiments clean-shm` sweeps any "
+            f"segments a dead owner left behind."
+        ) from exc
+    except Exception as exc:
+        _release_handles()
+        logger.warning(
+            "attaching to published graph failed at array %r (segment %s): %s",
+            key,
+            getattr(array_spec, "name", "?"),
+            exc,
+        )
+        raise WorkerError(
+            f"could not attach to shared graph array {key!r}: {exc}",
+            segments=[getattr(array_spec, "name", "?")],
+        ) from exc
+    except BaseException:  # interrupts: release, do not re-wrap
+        _release_handles()
         raise
     graph = SharedCSRGraph(
         spec.n,

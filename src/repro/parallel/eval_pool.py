@@ -52,9 +52,9 @@ sequential evaluation loop untouched (pinned by snapshot tests in
 from __future__ import annotations
 
 import copy
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -62,8 +62,16 @@ import numpy as np
 from repro.diffusion.realization import BaseRealization, Realization
 from repro.graphs.graph import ProbabilisticGraph
 from repro.parallel.broker import SharedGraphBroker, SharedGraphSpec, attach_shared_graph
+from repro.parallel.faults import FaultPlan, perform_fault
 from repro.parallel.pool import resolve_jobs
 from repro.parallel.seeds import ShardState, spawn_shard_states
+from repro.parallel.supervisor import (
+    SupervisedTask,
+    resolve_max_retries,
+    resolve_task_timeout,
+    supervised_collect,
+)
+from repro.utils.env import read_env_int
 from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -84,15 +92,9 @@ def resolve_eval_jobs(eval_jobs: Optional[int] = None) -> Optional[int]:
       exact RNG stream) untouched.
     """
     if eval_jobs is None:
-        raw = os.environ.get(EVAL_JOBS_ENV_VAR, "").strip()
-        if not raw:
+        eval_jobs = read_env_int(EVAL_JOBS_ENV_VAR)
+        if eval_jobs is None:
             return None
-        try:
-            eval_jobs = int(raw)
-        except ValueError:
-            raise ValidationError(
-                f"{EVAL_JOBS_ENV_VAR} must be an integer, got {raw!r}"
-            ) from None
     return resolve_jobs(eval_jobs)
 
 
@@ -279,9 +281,10 @@ def _eval_worker_init(spec: SharedGraphSpec, graph_name: str) -> None:
 
 
 def _eval_worker_run(
-    index, factory, target, cost_assignment, metadata, ticket, algorithm_state
+    fault, index, factory, target, cost_assignment, metadata, ticket, algorithm_state
 ) -> SessionRecord:
     """Run one session against the worker's resurrected graph."""
+    perform_fault(fault)
     return _run_one_session(
         _EVAL_WORKER["graph"],
         factory,
@@ -294,8 +297,9 @@ def _eval_worker_run(
     )
 
 
-def _eval_worker_score(seeds, ticket: RealizationTicket) -> float:
+def _eval_worker_score(fault, seeds, ticket: RealizationTicket) -> float:
     """Score a fixed seed set under one realization (nonadaptive path)."""
+    perform_fault(fault)
     realization = ticket.realize(_EVAL_WORKER["graph"])
     return float(realization.spread(seeds))
 
@@ -329,6 +333,15 @@ class EvaluationPool:
     start_method:
         Multiprocessing start method; defaults to ``"fork"`` where
         available, else ``"spawn"``.
+    task_timeout:
+        Per-session timeout in seconds for supervised dispatch (``None``
+        honours ``REPRO_TASK_TIMEOUT``; unset means wait forever).
+    max_retries:
+        Re-submissions before a failing session degrades to in-process
+        execution (``None`` honours ``REPRO_TASK_RETRIES``, default 2).
+    fault_plan:
+        Fault-injection plan for chaos testing (``None`` honours
+        ``REPRO_FAULT_SPEC``; an unarmed plan injects nothing).
     """
 
     def __init__(
@@ -336,6 +349,9 @@ class EvaluationPool:
         graph: ProbabilisticGraph,
         eval_jobs: Optional[int] = None,
         start_method: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not isinstance(graph, ProbabilisticGraph):
             raise ValidationError(
@@ -345,6 +361,9 @@ class EvaluationPool:
         self._base = graph
         self._jobs = resolve_eval_jobs(eval_jobs) or 1
         self._start_method = start_method
+        self._task_timeout = resolve_task_timeout(task_timeout)
+        self._max_retries = resolve_max_retries(max_retries)
+        self._faults = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._broker: Optional[SharedGraphBroker] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
@@ -379,7 +398,9 @@ class EvaluationPool:
         if method is None:
             methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in methods else "spawn"
-        self._broker = SharedGraphBroker(self._base, directions=("in", "out"))
+        fresh_broker = self._broker is None
+        if fresh_broker:
+            self._broker = SharedGraphBroker(self._base, directions=("in", "out"))
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._jobs,
@@ -388,9 +409,17 @@ class EvaluationPool:
                 initargs=(self._broker.spec, self._base.name),
             )
         except BaseException:
-            self._broker.close()
-            self._broker = None
+            if fresh_broker:
+                self._broker.close()
+                self._broker = None
             raise
+
+    def _rebuild_workers(self) -> None:
+        """Replace a broken executor; the published graph segments survive."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._ensure_workers()
 
     def close(self) -> None:
         """Stop workers and unlink shared memory (idempotent)."""
@@ -418,18 +447,27 @@ class EvaluationPool:
                 "this EvaluationPool was built for a different base graph"
             )
 
-    @staticmethod
-    def _collect(futures) -> List:
-        """Gather results in submit order; cancel the rest on any error."""
-        results: List = []
-        try:
-            for future in futures:
-                results.append(future.result())
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
-        return results
+    def _submit_run(
+        self, index, factory, target, cost_assignment, metadata, ticket, state
+    ):
+        """Submit one session to the current executor (fault taken per submission)."""
+        return self._executor.submit(
+            _eval_worker_run,
+            self._faults.take("eval"),
+            index,
+            factory,
+            target,
+            cost_assignment,
+            metadata,
+            ticket,
+            state,
+        )
+
+    def _submit_score(self, seeds, ticket):
+        """Submit one scoring task to the current executor."""
+        return self._executor.submit(
+            _eval_worker_score, self._faults.take("eval"), seeds, ticket
+        )
 
     def run_sessions(
         self,
@@ -478,20 +516,41 @@ class EvaluationPool:
             ]
 
         self._ensure_workers()
-        futures = [
-            self._executor.submit(
-                _eval_worker_run,
-                index,
-                factory,
-                target,
-                cost_assignment,
-                metadata,
-                ticket,
-                state,
+        tasks = [
+            SupervisedTask(
+                index=index,
+                label=f"evaluation session {index + 1}/{len(tickets)}",
+                submit=partial(
+                    self._submit_run,
+                    index,
+                    factory,
+                    target,
+                    cost_assignment,
+                    metadata,
+                    ticket,
+                    state,
+                ),
+                run_local=partial(
+                    _run_one_session,
+                    self._base,
+                    factory,
+                    target,
+                    cost_assignment,
+                    metadata,
+                    ticket,
+                    state,
+                    index,
+                ),
             )
             for index, (ticket, state) in enumerate(zip(tickets, states))
         ]
-        return self._collect(futures)
+        return supervised_collect(
+            tasks,
+            rebuild=self._rebuild_workers,
+            tier="eval",
+            timeout=self._task_timeout,
+            max_retries=self._max_retries,
+        )
 
     def score_selection(
         self,
@@ -521,11 +580,26 @@ class EvaluationPool:
                 for ticket in tickets
             ]
         self._ensure_workers()
-        futures = [
-            self._executor.submit(_eval_worker_score, seed_list, ticket)
-            for ticket in tickets
+        tasks = [
+            SupervisedTask(
+                index=index,
+                label=f"scoring task {index + 1}/{len(tickets)}",
+                submit=partial(self._submit_score, seed_list, ticket),
+                run_local=partial(self._score_local, seed_list, ticket),
+            )
+            for index, ticket in enumerate(tickets)
         ]
-        return self._collect(futures)
+        return supervised_collect(
+            tasks,
+            rebuild=self._rebuild_workers,
+            tier="eval",
+            timeout=self._task_timeout,
+            max_retries=self._max_retries,
+        )
+
+    def _score_local(self, seeds, ticket: RealizationTicket) -> float:
+        """In-process scoring fallback for a degraded task."""
+        return float(ticket.realize(self._base).spread(seeds))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self.running else ("closed" if self._closed else "idle")

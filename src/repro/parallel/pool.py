@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -53,8 +54,16 @@ from repro.diffusion.mc_engine import (
     merge_mc_batches,
     simulate_ic_batch,
 )
+from repro.parallel.faults import FaultPlan, FaultRule, perform_fault
 from repro.parallel.seeds import shard_layout, shard_roots, spawn_shard_states
+from repro.parallel.supervisor import (
+    SupervisedTask,
+    resolve_max_retries,
+    resolve_task_timeout,
+    supervised_collect,
+)
 from repro.sampling.engine import RRBatch, generate_rr_batch, merge_rr_batches
+from repro.utils.env import read_env_int
 from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState
 
@@ -81,15 +90,9 @@ def resolve_jobs(n_jobs: Optional[int] = None) -> Optional[int]:
       caller keeps its historical single-process path untouched.
     """
     if n_jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
-        if not raw:
+        n_jobs = read_env_int(JOBS_ENV_VAR)
+        if n_jobs is None:
             return None
-        try:
-            n_jobs = int(raw)
-        except ValueError:
-            raise ValidationError(
-                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
-            ) from None
     n_jobs = int(n_jobs)
     if n_jobs == -1:
         return available_cpus()
@@ -114,8 +117,9 @@ def _worker_init(spec: SharedGraphSpec) -> None:
     _WORKER["handles"] = handles  # keep segments alive for the worker's life
 
 
-def _worker_generate(count, random_state, backend, roots):
+def _worker_generate(fault, count, random_state, backend, roots):
     """Run one shard through the standard engine against shared arrays."""
+    perform_fault(fault)
     view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
     batch = generate_rr_batch(
         view, count, random_state, backend=backend, roots=roots
@@ -123,8 +127,9 @@ def _worker_generate(count, random_state, backend, roots):
     return batch.offsets, batch.nodes, batch.num_active_nodes, batch.n
 
 
-def _worker_simulate(seeds, count, random_state, backend):
+def _worker_simulate(fault, seeds, count, random_state, backend):
     """Run one forward-MC shard against the shared outgoing CSR."""
+    perform_fault(fault)
     view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
     batch = simulate_ic_batch(view, seeds, count, random_state, backend=backend)
     return batch.offsets, batch.nodes, batch.n
@@ -162,6 +167,18 @@ class SamplingPool:
         the historical RR-only footprint, so existing pools never pay for
         the outgoing CSR; forward-MC callers pass ``("out",)`` (or both
         for a dual-workload pool).
+    task_timeout:
+        Per-shard timeout in seconds for supervised dispatch (``None``
+        honours ``REPRO_TASK_TIMEOUT``, defaulting to no timeout).  A
+        timed-out shard is re-run in-process — identical bytes, see
+        ``docs/robustness.md``.
+    max_retries:
+        Re-submissions granted to a failing shard before it degrades to
+        in-process execution (``None`` honours ``REPRO_TASK_RETRIES``,
+        defaulting to 2).
+    fault_plan:
+        Fault-injection plan for chaos testing (``None`` reads
+        ``REPRO_FAULT_SPEC``; an empty plan injects nothing).
     """
 
     def __init__(
@@ -171,6 +188,9 @@ class SamplingPool:
         shard_size: Optional[int] = None,
         start_method: Optional[str] = None,
         directions: tuple = ("in",),
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         self._base = view.base
@@ -178,6 +198,9 @@ class SamplingPool:
         self._shard_size = shard_size
         self._start_method = start_method
         self._directions = tuple(directions)
+        self._task_timeout = resolve_task_timeout(task_timeout)
+        self._max_retries = resolve_max_retries(max_retries)
+        self._faults = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._broker: Optional[SharedGraphBroker] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
@@ -220,7 +243,9 @@ class SamplingPool:
         if method is None:
             methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in methods else "spawn"
-        self._broker = SharedGraphBroker(self._base, directions=self._directions)
+        fresh_broker = self._broker is None
+        if fresh_broker:
+            self._broker = SharedGraphBroker(self._base, directions=self._directions)
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=self._jobs,
@@ -229,9 +254,17 @@ class SamplingPool:
                 initargs=(self._broker.spec,),
             )
         except BaseException:
-            self._broker.close()
-            self._broker = None
+            if fresh_broker:
+                self._broker.close()
+                self._broker = None
             raise
+
+    def _rebuild_workers(self) -> None:
+        """Replace a broken executor; the published segments stay up."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        self._ensure_workers()
 
     def close(self) -> None:
         """Stop workers and unlink shared memory (idempotent)."""
@@ -299,16 +332,40 @@ class SamplingPool:
 
         self._ensure_workers()
         self._broker.set_mask(view.active_mask)
-        futures = [
-            self._executor.submit(
-                _worker_generate, stop - start, state, backend, shard_root
+        tasks = [
+            SupervisedTask(
+                index=shard,
+                label=f"sampling shard {shard + 1}/{len(layout)} "
+                f"({stop - start} RR sets)",
+                submit=partial(
+                    self._submit_generate, stop - start, state, backend, shard_root
+                ),
+                run_local=partial(
+                    generate_rr_batch,
+                    view,
+                    stop - start,
+                    state,
+                    backend=backend,
+                    roots=shard_root,
+                ),
             )
-            for (start, stop), state, shard_root in zip(layout, states, per_shard_roots)
+            for shard, ((start, stop), state, shard_root) in enumerate(
+                zip(layout, states, per_shard_roots)
+            )
         ]
+        raw = supervised_collect(
+            tasks,
+            rebuild=self._rebuild_workers,
+            tier="sampling",
+            timeout=self._task_timeout,
+            max_retries=self._max_retries,
+        )
         batches: List[RRBatch] = []
-        try:
-            for future in futures:
-                offsets, nodes, num_active, n = future.result()
+        for item in raw:
+            if isinstance(item, RRBatch):  # degraded shard ran in-process
+                batches.append(item)
+            else:
+                offsets, nodes, num_active, n = item
                 batches.append(
                     RRBatch(
                         offsets=offsets,
@@ -317,11 +374,19 @@ class SamplingPool:
                         n=n,
                     )
                 )
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
         return merge_rr_batches(batches)
+
+    def _submit_generate(self, count, state, backend, roots):
+        """Submit one generation shard to the current executor."""
+        return self._executor.submit(
+            _worker_generate, self._faults.take("sampling"), count, state, backend, roots
+        )
+
+    def _submit_simulate(self, seeds, count, state, backend):
+        """Submit one forward-MC shard to the current executor."""
+        return self._executor.submit(
+            _worker_simulate, self._faults.take("sampling"), seeds, count, state, backend
+        )
 
     def simulate(
         self,
@@ -368,21 +433,39 @@ class SamplingPool:
 
         self._ensure_workers()
         self._broker.set_mask(view.active_mask)
-        futures = [
-            self._executor.submit(
-                _worker_simulate, seed_tuple, stop - start, state, backend
+        tasks = [
+            SupervisedTask(
+                index=shard,
+                label=f"simulation shard {shard + 1}/{len(layout)} "
+                f"({stop - start} cascades)",
+                submit=partial(
+                    self._submit_simulate, seed_tuple, stop - start, state, backend
+                ),
+                run_local=partial(
+                    simulate_ic_batch,
+                    view,
+                    seed_tuple,
+                    stop - start,
+                    state,
+                    backend=backend,
+                ),
             )
-            for (start, stop), state in zip(layout, states)
+            for shard, ((start, stop), state) in enumerate(zip(layout, states))
         ]
+        raw = supervised_collect(
+            tasks,
+            rebuild=self._rebuild_workers,
+            tier="sampling",
+            timeout=self._task_timeout,
+            max_retries=self._max_retries,
+        )
         batches: List[MCBatch] = []
-        try:
-            for future in futures:
-                offsets, nodes, n = future.result()
+        for item in raw:
+            if isinstance(item, MCBatch):  # degraded shard ran in-process
+                batches.append(item)
+            else:
+                offsets, nodes, n = item
                 batches.append(MCBatch(offsets=offsets, nodes=nodes, n=n))
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
         return merge_mc_batches(batches)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

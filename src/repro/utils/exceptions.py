@@ -24,6 +24,46 @@ class GraphFormatError(ReproError, ValueError):
     """An on-disk graph description could not be parsed."""
 
 
+class WorkerError(ReproError, RuntimeError):
+    """A parallel worker task failed beyond recovery.
+
+    Raised by the supervised dispatch layer (:mod:`repro.parallel.supervisor`)
+    when a shard or session task has exhausted its retries *and* its
+    in-process fallback also failed, or by the shared-memory broker when a
+    publication step fails.  The attributes attach the task context that a
+    bare re-raise used to drop:
+
+    ``tier``
+        Which parallel tier failed (``"sampling"`` or ``"eval"``).
+    ``task``
+        A human-readable task label (shard index, session index, ...).
+    ``segments``
+        The shared-memory segment names involved, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tier: str = None,
+        task: str = None,
+        segments=(),
+    ) -> None:
+        super().__init__(message)
+        self.tier = tier
+        self.task = task
+        self.segments = tuple(segments)
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Only ever raised when a ``poison`` rule of ``REPRO_FAULT_SPEC`` (see
+    :mod:`repro.parallel.faults`) matches a task submission — never during
+    normal operation.  The chaos tests use it to prove that the supervised
+    dispatch layer retries and degrades without changing results.
+    """
+
+
 class SamplingBudgetExceeded(ReproError, RuntimeError):
     """A sampling loop hit its hard budget before meeting its stop rule.
 

@@ -44,7 +44,8 @@ class TestArgumentParsing:
     def test_known_experiments_listed(self):
         assert "fig2" in cli.EXPERIMENTS
         assert "table2" in cli.EXPERIMENTS
-        assert len(cli.EXPERIMENTS) == 10
+        assert "clean-shm" in cli.EXPERIMENTS
+        assert len(cli.EXPERIMENTS) == 11
 
 
 class TestExecution:

@@ -1,0 +1,153 @@
+"""ResultJournal: append/reload semantics, crash tolerance, exact payloads."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.journal import (
+    ResultJournal,
+    journal_path,
+    outcome_from_payload,
+    outcome_to_payload,
+)
+from repro.experiments.runner import AggregateOutcome
+from repro.utils.exceptions import ValidationError
+
+
+def _outcome(name="HATP", profit=0.1 + 0.2):
+    # 0.1 + 0.2 == 0.30000000000000004: the canonical float whose shortest
+    # repr still round-trips exactly — what the journal relies on.
+    return AggregateOutcome(
+        algorithm=name,
+        mean_profit=profit,
+        std_profit=0.017,
+        mean_spread=12.5,
+        mean_seeds=3.0,
+        mean_seed_cost=4.25,
+        selection_runtime_seconds=0.731,
+        total_rr_sets=1234,
+        per_realization_profits=[profit, profit / 3.0],
+        per_realization_spreads=[11.0, 14.0],
+        per_realization_seeds=[3.0, 3.0],
+        per_realization_costs=[4.0, 4.5],
+    )
+
+
+class TestPayloadRoundTrip:
+    def test_outcome_round_trips_bit_for_bit(self):
+        outcome = _outcome()
+        payload = json.loads(json.dumps(outcome_to_payload(outcome)))
+        assert outcome_from_payload(payload) == outcome
+
+    def test_bad_payload_is_a_validation_error(self):
+        with pytest.raises(ValidationError, match="--resume"):
+            outcome_from_payload({"algorithm": "HATP", "bogus_field": 1})
+
+    def test_journal_path(self):
+        assert journal_path("fig2") == os.path.join("results", "fig2.journal.jsonl")
+        assert journal_path("fig9", results_dir="/tmp/r") == "/tmp/r/fig9.journal.jsonl"
+
+
+class TestResultJournal:
+    def test_record_and_query(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            assert len(journal) == 0
+            assert "a" not in journal
+            journal.record("a", {"x": 1})
+            journal.record("b", {"y": 2})
+            assert "a" in journal and "b" in journal
+            assert journal.get("a") == {"x": 1}
+            assert journal.keys() == ["a", "b"]
+            assert journal.has_all(["a", "b"])
+            assert not journal.has_all(["a", "c"])
+
+    def test_reload_on_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.record("a", {"x": 1})
+            journal.record("b", {"y": 2})
+        reloaded = ResultJournal(path, resume=True)
+        assert len(reloaded) == 2
+        assert reloaded.get("b") == {"y": 2}
+
+    def test_fresh_run_truncates_existing_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.record("a", {"x": 1})
+        with ResultJournal(path, resume=False) as journal:
+            assert len(journal) == 0
+            journal.record("b", {"y": 2})
+        reloaded = ResultJournal(path, resume=True)
+        assert reloaded.keys() == ["b"]
+
+    def test_resume_without_file_is_empty(self, tmp_path):
+        journal = ResultJournal(tmp_path / "missing.jsonl", resume=True)
+        assert len(journal) == 0
+
+    def test_rerecording_a_key_overwrites(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.record("a", {"x": 1})
+            journal.record("a", {"x": 2})
+            assert journal.get("a") == {"x": 2}
+        # The superseding line also wins on reload.
+        assert ResultJournal(path, resume=True).get("a") == {"x": 2}
+
+    def test_records_survive_without_close(self, tmp_path):
+        # Every record is flushed and fsynced: a journal held by a process
+        # that dies without close() still contains all completed points.
+        path = tmp_path / "j.jsonl"
+        journal = ResultJournal(path)
+        journal.record("a", {"x": 1})
+        assert ResultJournal(path, resume=True).get("a") == {"x": 1}
+        journal.close()
+        journal.close()  # idempotent
+
+    def test_torn_final_line_is_dropped_and_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.record("a", {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "payl')  # hard kill mid-write
+        journal = ResultJournal(path, resume=True)
+        assert journal.keys() == ["a"]
+        # The torn tail was truncated away, so appending keeps the file sane.
+        journal.record("c", {"z": 3})
+        journal.close()
+        assert ResultJournal(path, resume=True).keys() == ["a", "c"]
+
+    def test_mid_file_corruption_is_an_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            json.dumps({"key": "a", "payload": {"x": 1}}),
+            "not json at all",
+            json.dumps({"key": "b", "payload": {"y": 2}}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="line 2"):
+            ResultJournal(path, resume=True)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            "\n" + json.dumps({"key": "a", "payload": {"x": 1}}) + "\n\n"
+        )
+        assert ResultJournal(path, resume=True).keys() == ["a"]
+
+    def test_record_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "results" / "deep" / "j.jsonl"
+        with ResultJournal(path) as journal:
+            journal.record("a", {"x": 1})
+        assert path.exists()
+
+    def test_outcome_payloads_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        outcome = _outcome()
+        with ResultJournal(path) as journal:
+            journal.record("k", outcome_to_payload(outcome))
+        reloaded = ResultJournal(path, resume=True)
+        assert outcome_from_payload(reloaded.get("k")) == outcome
