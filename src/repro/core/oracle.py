@@ -37,7 +37,15 @@ from repro.diffusion.spread import (
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.sampling.flat_collection import FlatRRCollection
+from repro.service.cache import LRUCache
 from repro.utils.rng import RandomState, ensure_rng
+
+#: Default capacity of the :class:`ExactSpreadOracle` memo.  Exact-policy
+#: analyses enumerate every realization of a small graph and re-ask the
+#: same (residual state, seed set) questions per world; tens of thousands
+#: of entries cover those sweeps comfortably while bounding a long-lived
+#: process (each entry is one float keyed by a small tuple).
+EXACT_CACHE_SIZE = 65536
 
 
 class SpreadOracle(Protocol):
@@ -65,12 +73,25 @@ class ExactSpreadOracle:
     Queries are memoised on ``(residual state, seed set)`` because analyses
     such as the exact policy-profit computation re-ask the same questions for
     every enumerated realization; the cache turns those repeated enumerations
-    into dictionary lookups.
+    into dictionary lookups.  The memo is a bounded LRU
+    (:class:`repro.service.cache.LRUCache`, default capacity
+    :data:`EXACT_CACHE_SIZE`) so a long-lived process cannot grow it without
+    limit; ``cache_size`` tunes the bound, ``cache=False`` disables it.
     """
 
-    def __init__(self, max_edges: int = 20, cache: bool = True) -> None:
+    def __init__(
+        self,
+        max_edges: int = 20,
+        cache: bool = True,
+        cache_size: int = EXACT_CACHE_SIZE,
+    ) -> None:
         self._max_edges = int(max_edges)
-        self._cache: dict | None = {} if cache else None
+        self._cache: LRUCache | None = LRUCache(cache_size) if cache else None
+
+    @property
+    def cache(self) -> LRUCache | None:
+        """The bounded memo (``None`` when caching is disabled)."""
+        return self._cache
 
     def _cache_key(self, graph, seeds: frozenset):
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
@@ -83,9 +104,11 @@ class ExactSpreadOracle:
         if self._cache is None:
             return exact_expected_spread(graph, seed_key, self._max_edges)
         key = self._cache_key(graph, seed_key)
-        if key not in self._cache:
-            self._cache[key] = exact_expected_spread(graph, seed_key, self._max_edges)
-        return self._cache[key]
+        value = self._cache.get(key)
+        if value is None:
+            value = exact_expected_spread(graph, seed_key, self._max_edges)
+            self._cache.put(key, value)
+        return value
 
     def marginal_spread(
         self,
@@ -344,7 +367,12 @@ class RISSpreadOracle(_PooledOracleMixin):
     reuse all of them are answered from one batch instead of sampling a
     fresh one each time.  The estimator stays unbiased per query, but
     queries on the same residual state become correlated — acceptable for
-    the oracle-model experiments, so it is opt-in.
+    the oracle-model experiments, so it is opt-in.  The cache is a bounded
+    LRU (:class:`repro.service.cache.LRUCache`); ``cache_size=1``, the
+    default, reproduces the historical single-entry semantics bit-for-bit
+    (returning to an earlier residual state regenerates, consuming the
+    same RNG draws), while the long-lived service raises it to keep many
+    residual states warm at once.
     """
 
     def __init__(
@@ -353,6 +381,7 @@ class RISSpreadOracle(_PooledOracleMixin):
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
         sample_reuse: bool = False,
+        cache_size: int = 1,
     ) -> None:
         from repro.parallel.pool import resolve_jobs
 
@@ -361,27 +390,30 @@ class RISSpreadOracle(_PooledOracleMixin):
         self._n_jobs = resolve_jobs(n_jobs)
         self._pool = None
         self._sample_reuse = bool(sample_reuse)
-        # The cached collection is keyed on the base graph *object* (a held
-        # reference, never a recyclable id()) plus the activity-mask bytes.
-        self._cached_base: Optional[ProbabilisticGraph] = None
-        self._cached_mask: Optional[bytes] = None
-        self._cached_collection: Optional[FlatRRCollection] = None
+        # Cached collections are keyed on the base graph's id() plus the
+        # activity-mask bytes; each entry holds the base graph *object* so
+        # the id can never be recycled while the entry is alive.
+        self._collections = LRUCache(cache_size)
 
     @property
     def num_samples(self) -> int:
         """RR sets per query."""
         return self._num_samples
 
+    @property
+    def collection_cache(self) -> LRUCache:
+        """The bounded per-residual-state collection cache (``sample_reuse``)."""
+        return self._collections
+
     def _collection(self, view: ResidualGraph) -> FlatRRCollection:
-        if self._sample_reuse:
-            mask_bytes = view.active_mask.tobytes()
-            if self._cached_base is view.base and self._cached_mask == mask_bytes:
-                return self._cached_collection
+        if not self._sample_reuse:
+            return self._generate(view)
+        key = (id(view.base), view.active_mask.tobytes())
+        entry = self._collections.get(key)
+        if entry is not None:
+            return entry[1]
         collection = self._generate(view)
-        if self._sample_reuse:
-            self._cached_base = view.base
-            self._cached_mask = mask_bytes
-            self._cached_collection = collection
+        self._collections.put(key, (view.base, collection))
         return collection
 
     def _generate(self, view: ResidualGraph) -> FlatRRCollection:

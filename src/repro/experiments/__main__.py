@@ -9,11 +9,15 @@ Usage examples::
     python -m repro.experiments fig2 --journal results/fig2.journal.jsonl
     python -m repro.experiments fig2 --resume     # continue an interrupted run
     python -m repro.experiments clean-shm         # sweep orphaned /dev/shm segments
+    python -m repro.experiments serve --dataset nethept --port 8321
+    python -m repro.experiments loadgen --self-serve --queries 200
 
 Each subcommand regenerates one table/figure of the paper, prints the series
 as a text table, and optionally writes the long-format rows to a CSV file.
 ``--journal``/``--resume`` checkpoint every data point to a JSONL file so an
 interrupted sweep can continue where it stopped (``docs/robustness.md``).
+``serve`` runs the long-lived seeding service and ``loadgen`` measures it
+(both have their own ``--help``; see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -212,6 +216,17 @@ def clean_shm() -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # The service subcommands carry their own flag sets; dispatch before
+    # the figure parser rejects them.
+    if argv and argv[0] == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.service.cli import run_loadgen
+
+        return run_loadgen(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "clean-shm":
         if args.journal is not None or args.resume:

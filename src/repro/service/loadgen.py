@@ -1,0 +1,351 @@
+"""Open/closed-loop load generator for the seeding service.
+
+Drives a running :class:`~repro.service.api.SeedingServer` with a
+deterministic query stream and records what a capacity plan needs:
+per-query latency (p50/p99), sustained queries/sec, error counts, and
+the server's own cache/coalescing counters scraped from ``/metrics``.
+
+Two driving modes:
+
+* **closed loop** — ``concurrency`` workers each keep exactly one
+  request outstanding (classic think-time-zero closed system; measures
+  the service's throughput ceiling at a given concurrency);
+* **open loop** — arrivals fire on a fixed schedule of ``rate`` queries
+  per second regardless of completions (measures latency under a target
+  offered load, the way production traffic actually behaves).
+
+The query stream mixes hot keys (repeats that should hit the answer
+cache) with cold spread/marginal/topk/Monte-Carlo queries, all derived
+from one master seed so two runs against equal servers issue bit-for-bit
+the same queries.  Results flatten to long-format rows for the committed
+``benchmarks/output/service_latency.{csv,json}`` series.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import ensure_rng
+
+#: Fraction of queries drawn from the small hot pool (cache exercisers).
+HOT_FRACTION = 0.4
+
+#: Number of distinct hot queries.
+HOT_POOL_SIZE = 8
+
+
+# --------------------------------------------------------------------- #
+# minimal asyncio HTTP client
+# --------------------------------------------------------------------- #
+
+
+class ServiceClient:
+    """Keep-alive JSON-over-HTTP client for one server connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = int(port)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _ensure_connection(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request/response round-trip (reconnects once on a dead socket)."""
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("ascii")
+        for attempt in (0, 1):
+            await self._ensure_connection()
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                return await self._read_response()
+            except (ConnectionError, asyncio.IncompleteReadError, EOFError):
+                await self.aclose()  # stale keep-alive socket; retry fresh
+                if attempt:
+                    raise
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def _read_response(self) -> Tuple[int, Dict[str, Any]]:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise EOFError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await self._reader.readline()
+            stripped = line.rstrip(b"\r\n")
+            if not stripped:
+                break
+            name, _, value = stripped.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                keep_alive = False
+        payload = json.loads(await self._reader.readexactly(length)) if length else {}
+        if not keep_alive:
+            await self.aclose()
+        return status, payload
+
+    async def aclose(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._reader = None
+        self._writer = None
+
+
+# --------------------------------------------------------------------- #
+# deterministic query stream
+# --------------------------------------------------------------------- #
+
+
+def build_query_stream(
+    num_queries: int,
+    num_nodes: int,
+    seed: int = 2020,
+    mc_fraction: float = 0.1,
+    mc_simulations: int = 200,
+) -> List[Dict[str, Any]]:
+    """A reproducible mixed workload over a graph of ``num_nodes`` nodes.
+
+    ~40% of queries repeat one of :data:`HOT_POOL_SIZE` hot spread
+    queries (exercising the answer cache); the rest split between cold
+    ``spread``, ``marginal``, small ``topk`` and — on ``mc_fraction`` of
+    the cold share — ``mc_spread`` queries.
+    """
+    if num_nodes < 2:
+        raise ValidationError("the load generator needs a graph with >= 2 nodes")
+    rng = ensure_rng(seed)
+    hot_pool = [
+        {
+            "op": "spread",
+            "seeds": sorted(
+                int(v)
+                for v in rng.choice(num_nodes, size=min(3, num_nodes), replace=False)
+            ),
+        }
+        for _ in range(HOT_POOL_SIZE)
+    ]
+    queries: List[Dict[str, Any]] = []
+    for _ in range(int(num_queries)):
+        roll = rng.random()
+        if roll < HOT_FRACTION:
+            queries.append(dict(hot_pool[int(rng.integers(len(hot_pool)))]))
+            continue
+        cold = rng.random()
+        if cold < mc_fraction:
+            queries.append(
+                {
+                    "op": "mc_spread",
+                    "seeds": [int(rng.integers(num_nodes))],
+                    "simulations": int(mc_simulations),
+                }
+            )
+        elif cold < 0.55:
+            size = int(rng.integers(1, 4))
+            queries.append(
+                {
+                    "op": "spread",
+                    "seeds": sorted(
+                        int(v)
+                        for v in rng.choice(num_nodes, size=size, replace=False)
+                    ),
+                }
+            )
+        elif cold < 0.85:
+            queries.append(
+                {
+                    "op": "marginal",
+                    "node": int(rng.integers(num_nodes)),
+                    "conditioning": sorted(
+                        int(v) for v in rng.choice(num_nodes, size=2, replace=False)
+                    ),
+                }
+            )
+        else:
+            queries.append({"op": "topk", "k": int(rng.integers(2, 6))})
+    return queries
+
+
+# --------------------------------------------------------------------- #
+# the load run itself
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run measured."""
+
+    mode: str
+    concurrency: int
+    rate: Optional[float]
+    latencies_ms: List[float] = field(default_factory=list)
+    errors: int = 0
+    duration_s: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        """Queries answered successfully."""
+        return len(self.latencies_ms)
+
+    @property
+    def qps(self) -> float:
+        """Sustained successful queries per second."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds (0.0 when nothing completed)."""
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def row(self, **extra: Any) -> Dict[str, Any]:
+        """One long-format series row (what the bench commits)."""
+        answer_cache = self.metrics.get("state", {}).get("answer_cache", {})
+        batcher = self.metrics.get("batcher", {})
+        row = {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "rate_qps": self.rate if self.rate is not None else "",
+            "queries": self.completed,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 4),
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.percentile(50), 3),
+            "p99_ms": round(self.percentile(99), 3),
+            "mean_ms": round(float(np.mean(self.latencies_ms)), 3)
+            if self.latencies_ms
+            else 0.0,
+            "cache_hits": answer_cache.get("hits", 0),
+            "cache_hit_rate": round(answer_cache.get("hit_rate", 0.0), 4),
+            "batches": batcher.get("batches", 0),
+            "coalesced_batches": batcher.get("coalesced_batches", 0),
+            "max_batch_size": batcher.get("max_batch_size", 0),
+        }
+        row.update(extra)
+        return row
+
+
+async def run_load(
+    host: str,
+    port: int,
+    queries: Sequence[Mapping[str, Any]],
+    mode: str = "closed",
+    concurrency: int = 8,
+    rate: Optional[float] = None,
+    scrape_metrics: bool = True,
+) -> LoadResult:
+    """Drive ``queries`` against a running server and measure latency.
+
+    ``mode="closed"`` keeps ``concurrency`` workers each one-outstanding;
+    ``mode="open"`` fires arrivals every ``1/rate`` seconds (capped at
+    ``concurrency`` in-flight sockets so an overloaded server degrades
+    into queueing, not fd exhaustion).
+    """
+    if mode not in ("closed", "open"):
+        raise ValidationError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValidationError("open-loop mode needs a positive --rate")
+    result = LoadResult(mode=mode, concurrency=int(concurrency), rate=rate)
+    queries = list(queries)
+    started = time.perf_counter()
+
+    if mode == "closed":
+        cursor = {"next": 0}
+
+        async def worker() -> None:
+            client = ServiceClient(host, port)
+            try:
+                while True:
+                    index = cursor["next"]
+                    if index >= len(queries):
+                        return
+                    cursor["next"] = index + 1
+                    begin = time.perf_counter()
+                    try:
+                        status, _ = await client.request(
+                            "POST", "/query", queries[index]
+                        )
+                    except Exception:
+                        result.errors += 1
+                        continue
+                    if status == 200:
+                        result.latencies_ms.append(
+                            (time.perf_counter() - begin) * 1000.0
+                        )
+                    else:
+                        result.errors += 1
+            finally:
+                await client.aclose()
+
+        await asyncio.gather(*(worker() for _ in range(int(concurrency))))
+    else:
+        interval = 1.0 / float(rate)
+        gate = asyncio.Semaphore(int(concurrency))
+
+        async def fire(query: Mapping[str, Any]) -> None:
+            async with gate:
+                client = ServiceClient(host, port)
+                begin = time.perf_counter()
+                try:
+                    status, _ = await client.request("POST", "/query", query)
+                    if status == 200:
+                        result.latencies_ms.append(
+                            (time.perf_counter() - begin) * 1000.0
+                        )
+                    else:
+                        result.errors += 1
+                except Exception:
+                    result.errors += 1
+                finally:
+                    await client.aclose()
+
+        tasks = []
+        for index, query in enumerate(queries):
+            target = started + index * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(fire(query)))
+        await asyncio.gather(*tasks)
+
+    result.duration_s = time.perf_counter() - started
+    if scrape_metrics:
+        client = ServiceClient(host, port)
+        try:
+            status, payload = await client.request("GET", "/metrics")
+            if status == 200:
+                result.metrics = payload
+        finally:
+            await client.aclose()
+    return result

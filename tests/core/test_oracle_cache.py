@@ -1,0 +1,201 @@
+"""S1/S2 — the oracles' hand-rolled caches replaced by the bounded LRU.
+
+The differential suite pins the replacement to the historical semantics:
+a capacity-1 :class:`~repro.service.cache.LRUCache` must behave
+*bit-for-bit* like the old single-entry collection cache of
+:class:`RISSpreadOracle` across a whole multi-residual-state session —
+identical answers and identical RNG consumption — and the
+:class:`ExactSpreadOracle` memo must now be bounded without changing any
+answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import EXACT_CACHE_SIZE, ExactSpreadOracle, RISSpreadOracle
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.residual import ResidualGraph
+from repro.graphs.toy import toy_graph
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.service.cache import LRUCache
+from repro.utils.rng import ensure_rng
+
+
+class SingleEntryReference:
+    """The historical hand-rolled cache, reimplemented verbatim: one
+    remembered residual state; any change regenerates from the shared RNG."""
+
+    def __init__(self, num_samples, seed):
+        self._num_samples = num_samples
+        self._rng = ensure_rng(seed)
+        self._key = None
+        self._collection = None
+
+    def _collection_for(self, view):
+        key = (id(view.base), view.active_mask.tobytes())
+        if key != self._key:
+            self._collection = FlatRRCollection.generate(
+                view, self._num_samples, self._rng
+            )
+            self._key = key
+        return self._collection
+
+    def expected_spread(self, view, seeds):
+        return self._collection_for(view).estimate_spread(seeds)
+
+    def marginal_spread(self, view, node, conditioning):
+        return self._collection_for(view).estimate_marginal_spread(
+            node, conditioning
+        )
+
+
+def residual_session(graph):
+    """A session that revisits residual states (the regenerate-on-return
+    pattern the old cache exhibited): full → masked → full → masked."""
+    full = ResidualGraph(graph)
+    mask_a = np.ones(graph.n, dtype=bool)
+    mask_a[[2, 5]] = False
+    masked_a = ResidualGraph(graph, active_mask=mask_a)
+    mask_b = np.ones(graph.n, dtype=bool)
+    mask_b[[0]] = False
+    masked_b = ResidualGraph(graph, active_mask=mask_b)
+    return [
+        ("spread", full, [1, 3]),
+        ("spread", full, [4]),
+        ("marginal", full, (6, [1, 3])),
+        ("spread", masked_a, [1]),
+        ("marginal", masked_a, (3, [1])),
+        ("spread", full, [1, 3]),  # return to an earlier state → regenerate
+        ("spread", masked_b, [4, 6]),
+        ("spread", masked_a, [1]),  # and again
+        ("marginal", full, (4, [])),
+    ]
+
+
+class TestRISSingleEntryDifferential:
+    SEED = 314
+    SAMPLES = 250
+
+    def run_session(self, oracle_like, graph):
+        answers = []
+        for op, view, payload in residual_session(graph):
+            if op == "spread":
+                answers.append(oracle_like.expected_spread(view, payload))
+            else:
+                node, conditioning = payload
+                answers.append(
+                    oracle_like.marginal_spread(view, node, conditioning)
+                )
+        return answers
+
+    def test_capacity_one_matches_historical_semantics_bit_for_bit(self):
+        graph = erdos_renyi(30, 0.1, random_state=8)
+        oracle = RISSpreadOracle(
+            num_samples=self.SAMPLES,
+            random_state=self.SEED,
+            sample_reuse=True,
+            cache_size=1,
+        )
+        reference = SingleEntryReference(self.SAMPLES, self.SEED)
+        assert self.run_session(oracle, graph) == self.run_session(
+            reference, graph
+        )
+        # Identical RNG consumption: both streams sit at the same point.
+        assert oracle._rng.integers(2**32) == reference._rng.integers(2**32)
+        # The session revisited evicted states, so the bounded cache
+        # regenerated: 5 generations (full, a, full, b, a), 2 evictions+.
+        assert oracle.collection_cache.stats.evictions >= 2
+
+    def test_default_cache_size_is_one(self):
+        oracle = RISSpreadOracle(num_samples=10, sample_reuse=True)
+        assert oracle.collection_cache.capacity == 1
+
+    def test_larger_capacity_keeps_states_warm(self):
+        graph = erdos_renyi(30, 0.1, random_state=8)
+        oracle = RISSpreadOracle(
+            num_samples=self.SAMPLES,
+            random_state=self.SEED,
+            sample_reuse=True,
+            cache_size=4,
+        )
+        answers = self.run_session(oracle, graph)
+        # Every revisited state is served from cache: exactly 3 distinct
+        # residual states were generated, none evicted.
+        assert oracle.collection_cache.stats.inserts == 3
+        assert oracle.collection_cache.stats.evictions == 0
+        assert oracle.collection_cache.stats.hits >= 2
+        # Warm answers repeat exactly (same collection object).
+        assert answers[0] == answers[5]
+
+    def test_no_reuse_never_touches_the_cache(self):
+        graph = toy_graph()
+        oracle = RISSpreadOracle(num_samples=50, random_state=1, sample_reuse=False)
+        oracle.expected_spread(ResidualGraph(graph), [1])
+        oracle.expected_spread(ResidualGraph(graph), [1])
+        assert len(oracle.collection_cache) == 0
+        assert oracle.collection_cache.stats.queries == 0
+
+    def test_cache_entries_pin_the_base_graph(self):
+        # The key uses id(base); the entry must hold the base object so a
+        # garbage-collected graph can never alias a recycled id.
+        graph = toy_graph()
+        oracle = RISSpreadOracle(num_samples=50, random_state=1, sample_reuse=True)
+        oracle.expected_spread(ResidualGraph(graph), [1])
+        ((base, _collection),) = [
+            oracle.collection_cache.peek(k) for k in oracle.collection_cache.keys()
+        ]
+        assert base is graph
+
+
+class TestExactOracleBoundedMemo:
+    def test_default_capacity_is_documented_bound(self):
+        oracle = ExactSpreadOracle()
+        assert oracle.cache is not None
+        assert oracle.cache.capacity == EXACT_CACHE_SIZE
+
+    def test_bounded_memo_changes_no_answers(self):
+        graph = toy_graph()
+        bounded = ExactSpreadOracle(cache_size=2)
+        unbounded = ExactSpreadOracle()
+        uncached = ExactSpreadOracle(cache=False)
+        queries = [[1], [2], [1, 2], [3], [1], [2], [1, 2]]
+        a = [bounded.expected_spread(graph, s) for s in queries]
+        b = [unbounded.expected_spread(graph, s) for s in queries]
+        c = [uncached.expected_spread(graph, s) for s in queries]
+        assert a == b == c
+        # The tiny bound actually evicted and re-enumerated along the way.
+        assert len(bounded.cache) == 2
+        assert bounded.cache.stats.evictions >= 2
+
+    def test_memo_hits_are_counted(self):
+        graph = toy_graph()
+        oracle = ExactSpreadOracle()
+        oracle.expected_spread(graph, [1])
+        oracle.expected_spread(graph, [1])
+        assert oracle.cache.stats.hits == 1
+        assert oracle.cache.stats.misses == 1
+
+    def test_cache_disabled(self):
+        oracle = ExactSpreadOracle(cache=False)
+        assert oracle.cache is None
+        graph = toy_graph()
+        assert oracle.expected_spread(graph, [1]) == pytest.approx(
+            ExactSpreadOracle().expected_spread(graph, [1])
+        )
+
+    def test_marginal_uses_the_memo(self):
+        graph = toy_graph()
+        oracle = ExactSpreadOracle()
+        spread_with = oracle.expected_spread(graph, [1, 4])
+        spread_without = oracle.expected_spread(graph, [1])
+        marginal = oracle.marginal_spread(graph, 4, [1])
+        assert marginal == pytest.approx(spread_with - spread_without)
+        assert oracle.cache.stats.hits == 2
+
+
+class TestLRUSharedInfrastructure:
+    def test_oracles_share_the_service_cache_type(self):
+        assert isinstance(ExactSpreadOracle().cache, LRUCache)
+        assert isinstance(
+            RISSpreadOracle(num_samples=10).collection_cache, LRUCache
+        )

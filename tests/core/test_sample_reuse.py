@@ -167,17 +167,27 @@ class TestOracleSampleReuse:
             as_residual(graph).without(list(range(50))), [60]
         )
         assert full >= 0.0 and shrunk >= 0.0
-        assert oracle._cached_base is graph
+        # The default capacity-1 LRU holds only the latest residual state,
+        # pinning the base graph object alongside its collection.
+        (base, _collection) = oracle.collection_cache.peek(
+            oracle.collection_cache.keys()[-1]
+        )
+        assert base is graph
+        assert len(oracle.collection_cache) == 1
+        assert oracle.collection_cache.stats.evictions == 1
 
     def test_reuse_does_not_confuse_distinct_graphs(self, graph):
-        # The cache holds the graph object itself, so a different graph —
-        # even one with an identical all-active mask — never hits it.
+        # The cache entry holds the graph object itself, so a different
+        # graph — even one with an identical all-active mask — never hits.
         other = weighted_cascade(
             generators.barabasi_albert(graph.n, 3, random_state=2)
         )
         oracle = RISSpreadOracle(num_samples=200, random_state=3, sample_reuse=True)
         oracle.expected_spread(graph, [0])
-        cached = oracle._cached_collection
+        _, cached = oracle.collection_cache.peek(oracle.collection_cache.keys()[-1])
         oracle.expected_spread(other, [0])
-        assert oracle._cached_base is other
-        assert oracle._cached_collection is not cached
+        base, collection = oracle.collection_cache.peek(
+            oracle.collection_cache.keys()[-1]
+        )
+        assert base is other
+        assert collection is not cached

@@ -1,0 +1,253 @@
+"""Tests of the asyncio request coalescer: window semantics, observable
+coalescing, error fan-out and the drain-on-close degradation ladder.
+
+The suite runs without pytest-asyncio: every test drives its own event
+loop through ``asyncio.run``.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service.batcher import (
+    BATCH_MS_ENV_VAR,
+    BatchStats,
+    RequestBatcher,
+    resolve_batch_window,
+)
+from repro.utils.exceptions import ValidationError
+
+
+def echo_execute(requests):
+    """A trivial executor: answers identify their request and batch size."""
+    size = len(requests)
+    return [dict(request, batch_size=size) for request in requests]
+
+
+class TestWindowResolution:
+    def test_explicit_wins_and_converts_to_seconds(self, monkeypatch):
+        monkeypatch.setenv(BATCH_MS_ENV_VAR, "50")
+        assert resolve_batch_window(2.0) == pytest.approx(0.002)
+
+    def test_env_fallback_then_default(self, monkeypatch):
+        monkeypatch.setenv(BATCH_MS_ENV_VAR, "12")
+        assert resolve_batch_window(None) == pytest.approx(0.012)
+        monkeypatch.delenv(BATCH_MS_ENV_VAR)
+        assert resolve_batch_window(None) == pytest.approx(0.005)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_batch_window(-1.0)
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            RequestBatcher(echo_execute, max_batch=0)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_batch(self):
+        async def scenario():
+            batcher = RequestBatcher(echo_execute, window_ms=20.0)
+            answers = await asyncio.gather(
+                *(batcher.submit({"id": i}) for i in range(6))
+            )
+            await batcher.aclose()
+            return batcher.stats, answers
+
+        stats, answers = asyncio.run(scenario())
+        # Coalescing must be *observable*: one batch of six, not six of one.
+        assert stats.batches == 1
+        assert stats.coalesced_batches == 1
+        assert stats.max_batch_size == 6
+        assert stats.mean_batch_size == pytest.approx(6.0)
+        assert [a["id"] for a in answers] == list(range(6))
+        assert all(a["batch_size"] == 6 for a in answers)
+
+    def test_requests_in_separate_windows_do_not_coalesce(self):
+        async def scenario():
+            batcher = RequestBatcher(echo_execute, window_ms=1.0)
+            first = await batcher.submit({"id": 0})
+            second = await batcher.submit({"id": 1})
+            await batcher.aclose()
+            return batcher.stats, first, second
+
+        stats, first, second = asyncio.run(scenario())
+        assert stats.batches == 2
+        assert stats.coalesced_batches == 0
+        assert first["batch_size"] == 1 and second["batch_size"] == 1
+
+    def test_max_batch_flushes_immediately(self):
+        async def scenario():
+            # A huge window: only the size cap can trigger the flush fast.
+            batcher = RequestBatcher(echo_execute, window_ms=10_000.0, max_batch=3)
+            started = time.monotonic()
+            answers = await asyncio.gather(
+                *(batcher.submit({"id": i}) for i in range(3))
+            )
+            elapsed = time.monotonic() - started
+            await batcher.aclose()
+            return batcher.stats, answers, elapsed
+
+        stats, answers, elapsed = asyncio.run(scenario())
+        assert elapsed < 5.0  # did not wait out the 10 s window
+        assert stats.max_batch_size == 3
+        assert all(a["batch_size"] == 3 for a in answers)
+
+    def test_batch_piles_up_behind_inflight_execution(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_execute(requests):
+            if len(requests) == 1 and requests[0].get("slow"):
+                entered.set()
+                release.wait(timeout=10.0)
+            return echo_execute(requests)
+
+        async def scenario():
+            batcher = RequestBatcher(slow_execute, window_ms=1.0)
+            slow = asyncio.ensure_future(batcher.submit({"slow": True}))
+            await asyncio.get_running_loop().run_in_executor(
+                None, entered.wait, 10.0
+            )
+            # These arrive while the slow batch holds the executor lock;
+            # they must coalesce behind it into one follow-up batch.
+            laters = [
+                asyncio.ensure_future(batcher.submit({"id": i})) for i in range(4)
+            ]
+            await asyncio.sleep(0.05)
+            release.set()
+            answers = await asyncio.gather(slow, *laters)
+            await batcher.aclose()
+            return batcher.stats, answers
+
+        stats, answers = asyncio.run(scenario())
+        assert answers[0]["batch_size"] == 1
+        assert all(a["batch_size"] == 4 for a in answers[1:])
+        assert stats.coalesced_batches == 1
+
+
+class TestErrorFanOut:
+    def test_executor_error_reaches_every_future(self):
+        def explode(requests):
+            raise ValidationError("boom")
+
+        async def scenario():
+            batcher = RequestBatcher(explode, window_ms=5.0)
+            results = await asyncio.gather(
+                *(batcher.submit({"id": i}) for i in range(3)),
+                return_exceptions=True,
+            )
+            await batcher.aclose()
+            return batcher.stats, results
+
+        stats, results = asyncio.run(scenario())
+        assert stats.failed_batches == 1
+        assert len(results) == 3
+        assert all(isinstance(r, ValidationError) for r in results)
+
+    def test_cancelled_client_does_not_break_the_batch(self):
+        async def scenario():
+            batcher = RequestBatcher(echo_execute, window_ms=30.0)
+            doomed = asyncio.ensure_future(batcher.submit({"id": 0}))
+            survivor = asyncio.ensure_future(batcher.submit({"id": 1}))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            answer = await survivor
+            await batcher.aclose()
+            return answer
+
+        answer = asyncio.run(scenario())
+        assert answer["id"] == 1
+
+
+class TestShutdownDrain:
+    def test_aclose_executes_pending_tail_in_process(self):
+        async def scenario():
+            # A window so long it can never fire: only the drain answers.
+            batcher = RequestBatcher(echo_execute, window_ms=60_000.0)
+            pending = [
+                asyncio.ensure_future(batcher.submit({"id": i})) for i in range(3)
+            ]
+            await asyncio.sleep(0)
+            await batcher.aclose()
+            answers = await asyncio.gather(*pending)
+            return batcher.stats, answers
+
+        stats, answers = asyncio.run(scenario())
+        assert stats.drained_requests == 3
+        assert [a["id"] for a in answers] == [0, 1, 2]
+
+    def test_aclose_waits_for_inflight_batch(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_execute(requests):
+            entered.set()
+            release.wait(timeout=10.0)
+            return echo_execute(requests)
+
+        async def scenario():
+            batcher = RequestBatcher(slow_execute, window_ms=1.0)
+            inflight = asyncio.ensure_future(batcher.submit({"id": 0}))
+            await asyncio.get_running_loop().run_in_executor(
+                None, entered.wait, 10.0
+            )
+            closer = asyncio.ensure_future(batcher.aclose())
+            await asyncio.sleep(0.02)
+            assert not inflight.done()  # close is waiting, not abandoning
+            release.set()
+            await closer
+            return await inflight
+
+        answer = asyncio.run(scenario())
+        assert answer["id"] == 0
+
+    def test_aclose_is_idempotent_and_fails_fast_after(self):
+        async def scenario():
+            batcher = RequestBatcher(echo_execute)
+            await batcher.aclose()
+            await batcher.aclose()
+            assert batcher.closed
+            with pytest.raises(ValidationError, match="closed"):
+                await batcher.submit({"id": 0})
+
+        asyncio.run(scenario())
+
+    def test_drain_errors_still_resolve_futures(self):
+        def explode(requests):
+            raise RuntimeError("pool already gone")
+
+        async def scenario():
+            batcher = RequestBatcher(explode, window_ms=60_000.0)
+            pending = asyncio.ensure_future(batcher.submit({"id": 0}))
+            await asyncio.sleep(0)
+            await batcher.aclose()
+            with pytest.raises(RuntimeError, match="pool already gone"):
+                await pending
+            return batcher.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.failed_batches == 1
+        assert stats.drained_requests == 1
+
+
+class TestBatchStats:
+    def test_record_and_mean(self):
+        stats = BatchStats()
+        assert stats.mean_batch_size == 0.0
+        stats.record(1)
+        stats.record(5)
+        assert stats.batches == 2
+        assert stats.coalesced_batches == 1
+        assert stats.max_batch_size == 5
+        assert stats.mean_batch_size == pytest.approx(3.0)
+
+    def test_as_dict_round_trip(self):
+        stats = BatchStats(requests=7)
+        stats.record(7)
+        d = stats.as_dict()
+        assert d["requests"] == 7
+        assert d["max_batch_size"] == 7
+        assert d["mean_batch_size"] == pytest.approx(7.0)

@@ -1,0 +1,143 @@
+"""Unit tests of the bounded LRU answer cache and its key helpers."""
+
+import numpy as np
+import pytest
+
+from repro.service.cache import CacheStats, LRUCache, answer_key, freeze, mask_digest
+from repro.utils.exceptions import ValidationError
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.inserts == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a → b becomes LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_overwrites_and_refreshes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_one_is_single_entry(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_capacity_zero_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            LRUCache(-1)
+
+    def test_peek_and_contains_do_not_count_or_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert "a" in cache
+        assert cache.stats.queries == 0
+        cache.put("c", 3)  # "a" stayed LRU despite the peek
+        assert "a" not in cache
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "gone") == "gone"
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_keys_in_lru_order(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert cache.keys() == ("b", "c", "a")
+
+    def test_cached_none_still_counts_as_hit(self):
+        # _MISSING sentinel: a stored None must not read as a miss.
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert cache.get("a", "default") is None
+        assert cache.stats.hits == 1
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.queries == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_dict_round_trip(self):
+        stats = CacheStats(hits=1, misses=2, evictions=3, inserts=4)
+        d = stats.as_dict()
+        assert d["hits"] == 1 and d["evictions"] == 3
+        assert "hit_rate" in d
+
+
+class TestKeyHelpers:
+    def test_mask_digest_full_aliases_none(self):
+        assert mask_digest(None) == "full"
+        assert mask_digest(np.ones(5, dtype=bool)) == "full"
+
+    def test_mask_digest_distinguishes_masks(self):
+        a = np.array([True, False, True])
+        b = np.array([True, True, False])
+        assert mask_digest(a) != mask_digest(b)
+        assert mask_digest(a) == mask_digest(a.copy())
+
+    def test_freeze_is_order_stable_for_dicts_and_sets(self):
+        assert freeze({"a": 1, "b": [2, 3]}) == freeze({"b": [2, 3], "a": 1})
+        assert freeze({3, 1, 2}) == freeze({1, 2, 3})
+        assert hash(freeze({"a": {"nested": [1, {2}]}})) is not None
+
+    def test_freeze_handles_numpy(self):
+        assert freeze(np.int64(4)) == 4
+        assert freeze(np.array([1, 2])) == (1, 2)
+
+    def test_freeze_lists_stay_ordered(self):
+        assert freeze([1, 2]) != freeze([2, 1])
+
+    def test_freeze_rejects_unhashable_types(self):
+        with pytest.raises(ValidationError):
+            freeze(object())
+
+    def test_answer_key_components(self):
+        mask = np.array([True, False])
+        key1 = answer_key("g0", mask, {"samples": 10}, {"op": "spread", "seeds": [1]})
+        key2 = answer_key("g0", mask, {"samples": 10}, {"op": "spread", "seeds": [1]})
+        key3 = answer_key("g1", mask, {"samples": 10}, {"op": "spread", "seeds": [1]})
+        key4 = answer_key("g0", None, {"samples": 10}, {"op": "spread", "seeds": [1]})
+        assert key1 == key2
+        assert key1 != key3
+        assert key1 != key4
+        assert hash(key1) is not None
