@@ -336,7 +336,7 @@ def _frontier_sweep(
             break
         edge_idx = flat_slice_indices(starts, degrees)
         expand_sim = np.repeat(frontier_sim, degrees)
-        targets = out_targets[edge_idx]
+        targets = out_targets[edge_idx].astype(np.int64, copy=False)
         expand_sim, targets = traverse(expand_sim, edge_idx, targets)
         if targets.size == 0:
             break

@@ -8,7 +8,8 @@ Usage examples::
     python -m repro.experiments fig7 --scale small
     python -m repro.experiments fig2 --journal results/fig2.journal.jsonl
     python -m repro.experiments fig2 --resume     # continue an interrupted run
-    python -m repro.experiments clean-shm         # sweep orphaned /dev/shm segments
+    python -m repro.experiments clean-shm         # sweep orphaned /dev/shm segments + spill dirs
+    python -m repro.experiments convert-graph soc-LiveJournal1.txt.gz lj.rgx
     python -m repro.experiments serve --dataset nethept --port 8321
     python -m repro.experiments loadgen --self-serve --queries 200
 
@@ -198,7 +199,7 @@ def run_experiment(args: argparse.Namespace, journal: Optional[ResultJournal] = 
 
 
 def clean_shm() -> int:
-    """``clean-shm``: sweep shared-memory segments whose owner is dead."""
+    """``clean-shm``: sweep segments and spill dirs whose owner is dead."""
     from repro.parallel import janitor
 
     removed = janitor.clean_orphan_segments()
@@ -211,6 +212,68 @@ def clean_shm() -> int:
         print("no orphaned segments found")
     if remaining:
         print(f"{len(remaining)} segment(s) belong to live processes and were kept")
+    removed_dirs = janitor.clean_orphan_spill_dirs()
+    remaining_dirs = janitor.list_spill_dirs()
+    if removed_dirs:
+        print(f"removed {len(removed_dirs)} orphaned spill directorie(s):")
+        for path in removed_dirs:
+            print(f"  {path}")
+    else:
+        print("no orphaned spill directories found")
+    if remaining_dirs:
+        print(
+            f"{len(remaining_dirs)} spill directorie(s) belong to live "
+            f"processes and were kept"
+        )
+    return 0
+
+
+def run_convert_graph(argv: Sequence[str]) -> int:
+    """``convert-graph``: stream a SNAP edge list into a binary ``.rgx`` file."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments convert-graph",
+        description="Convert a SNAP-style edge list (optionally .gz) to the "
+        "binary .rgx CSR format, which loads O(header) via mmap.",
+    )
+    parser.add_argument("source", help="edge-list file: 'u v [p]' per line")
+    parser.add_argument("destination", help="output .rgx path")
+    parser.add_argument(
+        "--undirected",
+        action="store_true",
+        help="the file lists undirected edges; materialise both directions",
+    )
+    parser.add_argument(
+        "--no-weighted-cascade",
+        action="store_true",
+        help="when the file has no probability column, use --probability "
+        "for every edge instead of weighted cascade p(u,v)=1/indeg(v)",
+    )
+    parser.add_argument(
+        "--probability",
+        type=float,
+        default=1.0,
+        help="uniform probability used with --no-weighted-cascade (default 1.0)",
+    )
+    parser.add_argument("--name", default=None, help="graph name stored in the header")
+    args = parser.parse_args(list(argv))
+
+    from repro.graphs.binary import convert_edge_list
+
+    n, m = convert_edge_list(
+        args.source,
+        args.destination,
+        directed=not args.undirected,
+        apply_weighted_cascade=not args.no_weighted_cascade,
+        default_probability=args.probability,
+        name=args.name,
+    )
+    import os
+
+    size = os.path.getsize(args.destination)
+    print(
+        f"converted {args.source} -> {args.destination}: "
+        f"n={n} m={m} ({size} bytes)"
+    )
     return 0
 
 
@@ -227,6 +290,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import run_loadgen
 
         return run_loadgen(argv[1:])
+    if argv and argv[0] == "convert-graph":
+        return run_convert_graph(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.experiment == "clean-shm":
         if args.journal is not None or args.resume:

@@ -1,0 +1,189 @@
+"""Out-of-core graph-engine workload: one measured storage-backend run.
+
+This module is the measurement half of the ``graph_io`` benchmark series
+(``benchmarks/test_bench_graph_io.py``).  :func:`run_workload` opens a
+converted ``.rgx`` graph with one of two storage configurations —
+
+* ``mode="ram"``: the historical layout (arrays read fully into RAM,
+  RR collection with ``storage="ram"``), and
+* ``mode="disk"``: the out-of-core path (``np.memmap`` graph arrays,
+  RR collection spilled to mmap'd chunk files),
+
+then runs the identical workload on it: θ RR sets generated in rounds
+(the sample-reuse pattern of the adaptive algorithms), the inverted index
+built, and a block of coverage/spread queries answered.  It reports wall
+times, sets/sec, the process's peak RSS, and a CRC32 checksum over the
+collection's flat arrays and every query answer.
+
+Run it as a subprocess — ``python -m repro.experiments.graph_io --rgx …
+--mode ram`` — one process per backend, because ``ru_maxrss`` is a
+per-process high-water mark: measuring both backends in one process would
+let the first run's peak mask the second's.  Equal checksums across the
+two modes are the determinism contract at benchmark scale: bit-for-bit
+identical answers regardless of storage backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+import zlib
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.binary import load_rgx
+from repro.graphs.residual import as_residual
+from repro.sampling.engine import generate_rr_batch
+from repro.sampling.flat_collection import FlatRRCollection
+from repro.sampling.spill import DEFAULT_CHUNK_BYTES
+
+#: Seed-set size of every coverage query.
+QUERY_SET_SIZE = 5
+
+#: Elements hashed per CRC update (bounds the checksum's working set).
+_CRC_CHUNK = 1 << 20
+
+
+def _crc_array(crc: int, array: np.ndarray, dtype: np.dtype) -> int:
+    """Fold ``array`` into ``crc`` chunk-at-a-time with a canonical dtype."""
+    dtype = np.dtype(dtype)
+    for start in range(0, array.shape[0], _CRC_CHUNK):
+        chunk = np.ascontiguousarray(array[start : start + _CRC_CHUNK]).astype(
+            dtype, copy=False
+        )
+        crc = zlib.crc32(chunk.tobytes(), crc)
+    return crc
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (Linux: ru_maxrss KiB)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
+
+
+def run_workload(
+    rgx_path: str,
+    mode: str,
+    rounds: int,
+    sets_per_round: int,
+    seed: int,
+    queries: int = 50,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> dict:
+    """Run the storage-backend workload and return its measurements.
+
+    Both modes draw the identical per-round RNG streams, so every number
+    the workload computes — and therefore ``checksum`` — must agree
+    between them; only the timings and the RSS may differ.
+    """
+    if mode not in ("ram", "disk"):
+        raise ValueError(f"mode must be 'ram' or 'disk', got {mode!r}")
+
+    start = time.perf_counter()
+    graph = load_rgx(rgx_path, mmap=(mode == "disk"))
+    load_s = time.perf_counter() - start
+
+    view = as_residual(graph)
+    storage = "disk" if mode == "disk" else "ram"
+    start = time.perf_counter()
+    collection: Optional[FlatRRCollection] = None
+    for round_index in range(rounds):
+        round_seed = seed * 100003 + round_index
+        batch = generate_rr_batch(view, sets_per_round, round_seed)
+        if collection is None:
+            collection = FlatRRCollection(
+                batch, storage=storage, chunk_bytes=chunk_bytes
+            )
+        else:
+            collection.extend(batch)
+        # Fold the round into storage now (spill mode then evicts the
+        # written pages) — the sample-reuse cadence of the adaptive runs.
+        collection.total_size()
+        collection.release()
+    gen_s = time.perf_counter() - start
+    total_sets = collection.num_sets
+    total_members = collection.total_size()
+
+    rng = np.random.default_rng(seed)
+    seed_sets = [
+        rng.integers(0, graph.n, size=QUERY_SET_SIZE).tolist()
+        for _ in range(queries)
+    ]
+    start = time.perf_counter()
+    spreads = collection.estimate_spreads(seed_sets)
+    coverages = np.asarray(
+        [collection.coverage(seed_set) for seed_set in seed_sets[:10]],
+        dtype=np.int64,
+    )
+    marginals = np.asarray(
+        [
+            collection.marginal_coverage(seed_set[0], seed_set[1:])
+            for seed_set in seed_sets[:10]
+        ],
+        dtype=np.int64,
+    )
+    appearing = int(collection.nodes_appearing().shape[0])
+    query_s = time.perf_counter() - start
+
+    offsets, nodes = collection.flat()
+    crc = _crc_array(0, offsets, np.int64)
+    crc = _crc_array(crc, nodes, np.uint32)
+    crc = _crc_array(crc, spreads, np.float64)
+    crc = _crc_array(crc, coverages, np.int64)
+    crc = _crc_array(crc, marginals, np.int64)
+    crc = zlib.crc32(np.int64(appearing).tobytes(), crc)
+
+    result = {
+        "mode": mode,
+        "n": int(graph.n),
+        "m": int(graph.m),
+        "rounds": int(rounds),
+        "total_sets": int(total_sets),
+        "total_members": int(total_members),
+        "load_s": load_s,
+        "gen_s": gen_s,
+        "query_s": query_s,
+        "sets_per_sec": total_sets / gen_s if gen_s > 0 else float("inf"),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "checksum": int(crc),
+    }
+    collection.close()
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.graph_io",
+        description="Run the graph_io storage-backend workload and print "
+        "its measurements as JSON (one process per backend, so peak RSS "
+        "is attributable).",
+    )
+    parser.add_argument("--rgx", required=True, help="converted .rgx graph file")
+    parser.add_argument("--mode", required=True, choices=["ram", "disk"])
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--sets-per-round", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES)
+    args = parser.parse_args(argv)
+    result = run_workload(
+        args.rgx,
+        args.mode,
+        rounds=args.rounds,
+        sets_per_round=args.sets_per_round,
+        seed=args.seed,
+        queries=args.queries,
+        chunk_bytes=args.chunk_bytes,
+    )
+    print(json.dumps(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -59,6 +59,7 @@ class ProbabilisticGraph:
         "_in_sources",
         "_in_probs",
         "_in_edge_ids",
+        "_mmap",
     )
 
     def __init__(
@@ -99,6 +100,7 @@ class ProbabilisticGraph:
         self._n = int(n)
         self._name = name
         self._undirected_input = bool(undirected_input)
+        self._mmap = None
         self._build_csr(edge_array, prob_array)
 
     # ------------------------------------------------------------------ #
@@ -146,6 +148,7 @@ class ProbabilisticGraph:
         in_probs: np.ndarray,
         name: str = "",
         undirected_input: bool = False,
+        mmap_info: Optional[object] = None,
     ) -> "ProbabilisticGraph":
         """Rebuild a graph from already-canonical CSR arrays (trusted path).
 
@@ -155,27 +158,34 @@ class ProbabilisticGraph:
         *referenced, not copied*, so the result is a zero-copy view over the
         caller's buffers — this is how evaluation workers resurrect a full
         :class:`ProbabilisticGraph` on top of shared-memory segments
-        (:mod:`repro.parallel.eval_pool`).  Only the two derived indexes
-        that are not published are recomputed: the per-edge source array
-        (an ``O(m)`` repeat) and the in-CSR edge ids (a stable argsort,
-        bit-for-bit the one :meth:`_build_csr` produced in the parent).
+        (:mod:`repro.parallel.eval_pool`) and how
+        :func:`repro.graphs.binary.load_rgx` wraps memory-mapped ``.rgx``
+        files.  The two derived indexes that are not part of the canonical
+        six arrays — the per-edge source array (an ``O(m)`` repeat) and the
+        in-CSR edge ids (a stable argsort, bit-for-bit the one
+        :meth:`_build_csr` produces) — are computed *lazily* on first
+        access, so opening a memory-mapped graph stays O(header) and the
+        construction cost is deferred to the code paths that actually need
+        those indexes.
+
+        ``mmap_info`` records how the CSR arrays map onto a backing file
+        (see :class:`repro.graphs.binary.RgxMapping`); the shared-memory
+        broker uses it to let workers attach by path instead of copying
+        the graph through shared-memory segments.
         """
         graph = cls.__new__(cls)
         graph._n = int(n)
         graph._name = name
         graph._undirected_input = bool(undirected_input)
+        graph._mmap = mmap_info
         graph._out_offsets = out_offsets
         graph._out_targets = out_targets
         graph._out_probs = out_probs
-        graph._out_sources = np.repeat(
-            np.arange(graph._n, dtype=np.int64), np.diff(out_offsets)
-        )
+        graph._out_sources = None
         graph._in_offsets = in_offsets
         graph._in_sources = in_sources
         graph._in_probs = in_probs
-        graph._in_edge_ids = np.ascontiguousarray(
-            np.argsort(out_targets, kind="stable").astype(np.int64)
-        )
+        graph._in_edge_ids = None
         return graph
 
     @classmethod
@@ -254,6 +264,19 @@ class ProbabilisticGraph:
         return self._undirected_input
 
     @property
+    def mmap_info(self) -> Optional[object]:
+        """File-backing description when the CSR arrays are memory-mapped.
+
+        ``None`` for in-RAM graphs.  For graphs opened with
+        :func:`repro.graphs.binary.load_rgx` this is an
+        :class:`~repro.graphs.binary.RgxMapping` recording the byte offset,
+        shape and dtype of every CSR array inside the ``.rgx`` file —
+        enough for any other process on the host to attach to the same
+        graph by path (:mod:`repro.parallel.broker`).
+        """
+        return self._mmap
+
+    @property
     def num_nodes(self) -> int:
         """Alias for :attr:`n`."""
         return self._n
@@ -283,8 +306,23 @@ class ProbabilisticGraph:
         return (
             self._in_sources[start:end],
             self._in_probs[start:end],
-            self._in_edge_ids[start:end],
+            self.in_edge_ids[start:end],
         )
+
+    @property
+    def in_edge_ids(self) -> np.ndarray:
+        """Edge id of every in-CSR entry (lazily derived; do not mutate).
+
+        For graphs resurrected with :meth:`from_csr_arrays` (shared-memory
+        workers, memory-mapped ``.rgx`` files) the array is computed on
+        first access — a stable argsort of the out-CSR targets, bit-for-bit
+        what :meth:`_build_csr` produces eagerly.
+        """
+        if self._in_edge_ids is None:
+            self._in_edge_ids = np.ascontiguousarray(
+                np.argsort(self._out_targets, kind="stable").astype(np.int64)
+            )
+        return self._in_edge_ids
 
     def in_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Raw incoming CSR ``(offsets, sources, probabilities)`` (no copies; do not mutate).
@@ -334,7 +372,16 @@ class ProbabilisticGraph:
 
     @property
     def edge_sources(self) -> np.ndarray:
-        """Source node of every edge in edge-id order (cached; do not mutate)."""
+        """Source node of every edge in edge-id order (cached; do not mutate).
+
+        Derived lazily for graphs built through :meth:`from_csr_arrays`
+        (an ``O(m)`` repeat over the out-CSR offsets, identical to what
+        :meth:`_build_csr` stores eagerly).
+        """
+        if self._out_sources is None:
+            self._out_sources = np.repeat(
+                np.arange(self._n, dtype=np.int64), np.diff(self._out_offsets)
+            )
         return self._out_sources
 
     @property
@@ -355,7 +402,7 @@ class ProbabilisticGraph:
 
     def edge_array(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(sources, targets, probabilities)`` arrays in edge-id order."""
-        return self._out_sources.copy(), self._out_targets.copy(), self._out_probs.copy()
+        return self.edge_sources.copy(), self._out_targets.copy(), self._out_probs.copy()
 
     def edge_probability(self, source: int, target: int) -> float:
         """Return ``p(source, target)``; raises ``KeyError`` if the edge is absent."""

@@ -23,6 +23,13 @@ on every task would copy the whole graph per shard;
   :func:`repro.sampling.engine.generate_rr_batch` runs unmodified inside a
   worker.
 
+Graphs opened from a memory-mapped ``.rgx`` file
+(:func:`repro.graphs.binary.load_rgx`) skip the per-publish copy entirely:
+their CSR already lives in a file, so the broker publishes those arrays as
+``(path, offset)`` specs and workers attach with read-only ``np.memmap``
+views — one file on disk serves every sampling/eval/service worker on the
+host, and only the small mutable active mask goes through ``/dev/shm``.
+
 Cleanup is belt-and-braces: ``close()`` is idempotent, and a
 ``weakref.finalize`` hook unlinks the segments even if the owner is
 garbage-collected without an explicit close (error or interrupt paths).
@@ -77,11 +84,20 @@ DIRECTION_KEYS = {
 
 @dataclass(frozen=True)
 class SharedArraySpec:
-    """Addressing information for one published array (picklable)."""
+    """Addressing information for one published array (picklable).
+
+    Two flavours: shared-memory segments (``name`` set, ``path`` ``None``)
+    and file-backed arrays (``path``/``offset`` set, ``name`` empty) for
+    graphs opened from an ``.rgx`` file — workers then attach with one
+    read-only ``np.memmap`` instead of a copied ``/dev/shm`` segment, so
+    one file on disk serves every worker on the host.
+    """
 
     name: str
     shape: Tuple[int, ...]
     dtype: str
+    path: Optional[str] = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -168,10 +184,25 @@ class SharedGraphBroker:
                 out_offsets=out_offsets, out_targets=out_targets, out_probs=out_probs
             )
         arrays["active_mask"] = np.ones(base.n, dtype=bool)
+        # A graph opened from an .rgx file already has its CSR on disk:
+        # publish those arrays by (path, offset) instead of copying them
+        # into segments.  Only the mutable active mask still needs one.
+        mapping = getattr(base, "mmap_info", None)
+        file_arrays = getattr(mapping, "arrays", None) or {}
         key = "(none)"
         try:
             for key in SHARED_ARRAY_KEYS:
                 if key not in arrays:
+                    continue
+                if key != "active_mask" and key in file_arrays:
+                    offset, shape, dtype = file_arrays[key]
+                    specs[key] = SharedArraySpec(
+                        name="",
+                        shape=tuple(shape),
+                        dtype=dtype,
+                        path=mapping.path,
+                        offset=int(offset),
+                    )
                     continue
                 array = np.ascontiguousarray(arrays[key])
                 segment = _create_segment(max(array.nbytes, 1))
@@ -431,6 +462,16 @@ def attach_shared_graph(
             if key not in spec.arrays:
                 continue
             array_spec = spec.arrays[key]
+            if array_spec.path is not None:
+                # File-backed (.rgx) array: attach by path, no segment.
+                arrays[key] = np.memmap(
+                    array_spec.path,
+                    dtype=np.dtype(array_spec.dtype),
+                    mode="r",
+                    offset=array_spec.offset,
+                    shape=array_spec.shape,
+                )
+                continue
             segment = shared_memory.SharedMemory(name=array_spec.name)
             handles.append(segment)
             arrays[key] = np.ndarray(
@@ -438,6 +479,13 @@ def attach_shared_graph(
             )
     except FileNotFoundError as exc:
         _release_handles()
+        if array_spec is not None and array_spec.path is not None:
+            raise ValidationError(
+                f"backing graph file {array_spec.path!r} (graph array "
+                f"{key!r}) does not exist; it was moved or deleted after "
+                f"the graph was opened — restore the .rgx file or reopen "
+                f"the graph before creating the pool."
+            ) from exc
         raise ValidationError(
             f"shared-memory segment {array_spec.name!r} (graph array {key!r}) "
             f"does not exist; the publishing process most likely exited or "

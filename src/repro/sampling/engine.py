@@ -274,7 +274,7 @@ def _generate_batch_vectorized(
         # Flat indices of every in-edge of the frontier, in frontier order.
         edge_idx = flat_slice_indices(starts, degrees)
         expand_rr = np.repeat(frontier_rr, degrees)
-        sources = in_sources[edge_idx]
+        sources = in_sources[edge_idx].astype(np.int64, copy=False)
         # Residual filter first: coins are only flipped for live edges, so
         # the flip stream is independent of inactive clutter (and matches
         # the per-node reference, which filters before flipping too).

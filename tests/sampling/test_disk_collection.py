@@ -1,0 +1,225 @@
+"""Tests of the disk-backed (spill) storage mode of ``FlatRRCollection``.
+
+The contract is bit-for-bit equality with the in-RAM layout: the flat
+arrays, the inverted index, and every query answer must be identical for
+the same sampled sets, for any chunk size.  A deliberately tiny
+``chunk_bytes`` forces multi-chunk spills and multi-band index rebuilds,
+exercising the code paths that matter at paper scale on toy inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.parallel import janitor
+from repro.sampling.flat_collection import (
+    FlatRRCollection,
+    resolve_rr_storage,
+)
+from repro.sampling.spill import SpillArray
+from repro.utils.exceptions import ValidationError
+
+#: Small enough that a few hundred RR sets span many chunks and the index
+#: rebuild runs over several node bands.
+TINY_CHUNK = 4096
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(150, 4.0, random_state=11, name="spill-er")
+
+
+@pytest.fixture()
+def spill_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _pair(graph, count=400, seed=5, chunk_bytes=TINY_CHUNK):
+    ram = FlatRRCollection.generate(graph, count, random_state=seed)
+    disk = FlatRRCollection.generate(
+        graph, count, random_state=seed, storage="disk", chunk_bytes=chunk_bytes
+    )
+    return ram, disk
+
+
+def _assert_identical(ram, disk):
+    r_off, r_nodes = ram.flat()
+    d_off, d_nodes = disk.flat()
+    assert np.array_equal(r_off, d_off)
+    assert np.array_equal(r_nodes, d_nodes)
+    r_inv_off, r_inv = ram._index()
+    d_inv_off, d_inv = disk._index()
+    assert np.array_equal(r_inv_off, d_inv_off)
+    assert np.array_equal(r_inv, d_inv)
+
+
+class TestResolveStorage:
+    def test_default_is_ram(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RR_STORAGE", raising=False)
+        assert resolve_rr_storage() == "ram"
+
+    def test_env_selects_disk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RR_STORAGE", "disk")
+        assert resolve_rr_storage() == "disk"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RR_STORAGE", "disk")
+        assert resolve_rr_storage("ram") == "ram"
+
+    def test_invalid_explicit(self):
+        with pytest.raises(ValidationError, match="storage must be one of"):
+            resolve_rr_storage("tape")
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RR_STORAGE", "tape")
+        with pytest.raises(ValidationError, match="REPRO_RR_STORAGE"):
+            resolve_rr_storage()
+
+
+class TestDifferential:
+    def test_flat_and_index_identical(self, graph, spill_env):
+        ram, disk = _pair(graph)
+        try:
+            _assert_identical(ram, disk)
+        finally:
+            disk.close()
+
+    def test_queries_identical(self, graph, spill_env):
+        ram, disk = _pair(graph)
+        try:
+            rng = np.random.default_rng(9)
+            seed_sets = [rng.integers(0, graph.n, size=4).tolist() for _ in range(20)]
+            assert np.array_equal(
+                ram.estimate_spreads(seed_sets), disk.estimate_spreads(seed_sets)
+            )
+            assert np.array_equal(
+                ram.batch_coverage(seed_sets), disk.batch_coverage(seed_sets)
+            )
+            for seed_set in seed_sets[:5]:
+                assert ram.coverage(seed_set) == disk.coverage(seed_set)
+                assert ram.marginal_coverage(
+                    seed_set[0], seed_set[1:]
+                ) == disk.marginal_coverage(seed_set[0], seed_set[1:])
+            for node in range(0, graph.n, 17):
+                assert np.array_equal(
+                    ram.sets_containing(node), disk.sets_containing(node)
+                )
+            assert np.array_equal(ram.nodes_appearing(), disk.nodes_appearing())
+            assert np.array_equal(ram.sizes(), disk.sizes())
+            assert ram.total_size() == disk.total_size()
+        finally:
+            disk.close()
+
+    def test_extend_rounds_identical(self, graph, spill_env):
+        ram, disk = _pair(graph, count=200, seed=21)
+        try:
+            for round_index in range(3):
+                extra = FlatRRCollection.generate(
+                    graph, 150, random_state=1000 + round_index
+                )
+                offsets, nodes = extra.flat()
+                sets = [
+                    nodes[offsets[i] : offsets[i + 1]].tolist()
+                    for i in range(extra.num_sets)
+                ]
+                ram.extend(sets)
+                disk.extend(sets)
+                _assert_identical(ram, disk)
+        finally:
+            disk.close()
+
+    def test_release_keeps_answers(self, graph, spill_env):
+        ram, disk = _pair(graph)
+        try:
+            before = disk.coverage([0, 1, 2])
+            disk.release()
+            assert disk.coverage([0, 1, 2]) == before == ram.coverage([0, 1, 2])
+        finally:
+            disk.close()
+
+
+class TestLifecycle:
+    def test_storage_property(self, graph, spill_env):
+        ram, disk = _pair(graph, count=50)
+        assert ram.storage == "ram"
+        assert ram.spill_path is None
+        assert disk.storage == "disk"
+        assert disk.spill_path is not None
+        disk.close()
+
+    def test_spill_dir_tagged_with_pid(self, graph, spill_env):
+        _, disk = _pair(graph, count=50)
+        spill_path = disk.spill_path
+        assert os.path.basename(spill_path).startswith(f"{janitor.SPILL_PREFIX}-")
+        assert janitor.spill_owner_pid(spill_path) == os.getpid()
+        disk.close()
+
+    def test_close_removes_spill_dir(self, graph, spill_env):
+        _, disk = _pair(graph, count=50)
+        spill_path = disk.spill_path
+        assert os.path.isdir(spill_path)
+        disk.close()
+        assert not os.path.exists(spill_path)
+        disk.close()  # idempotent
+
+    def test_garbage_collection_removes_spill_dir(self, graph, spill_env):
+        _, disk = _pair(graph, count=50)
+        spill_path = disk.spill_path
+        finalizer = disk._finalizer
+        del disk
+        finalizer()
+        assert not os.path.exists(spill_path)
+
+    def test_from_rr_sets_disk(self, spill_env):
+        sets = [[0, 2], [1], [0, 1, 3]]
+        ram = FlatRRCollection.from_rr_sets(sets, num_active_nodes=4)
+        disk = FlatRRCollection.from_rr_sets(
+            sets, num_active_nodes=4, storage="disk"
+        )
+        try:
+            _assert_identical(ram, disk)
+            assert disk.rr_sets == [set(s) for s in sets]
+        finally:
+            disk.close()
+
+
+class TestSpillArray:
+    def test_append_and_view(self, tmp_path):
+        spill = SpillArray(tmp_path / "a.bin", np.int64, chunk_bytes=64)
+        assert len(spill) == 0 and spill.view().shape == (0,)
+        spill.append(np.arange(50, dtype=np.int64))
+        spill.append(np.arange(50, 90, dtype=np.int64))
+        assert np.array_equal(spill.view(), np.arange(90))
+        assert spill.nbytes_on_disk >= 90 * 8
+        spill.close()
+        assert not (tmp_path / "a.bin").exists()
+
+    def test_prefix_stable_across_growth(self, tmp_path):
+        spill = SpillArray(tmp_path / "b.bin", np.int64, chunk_bytes=64)
+        spill.append(np.arange(10, dtype=np.int64))
+        prefix = spill.view()[:10]
+        spill.append(np.arange(10_000, dtype=np.int64))
+        assert np.array_equal(prefix, np.arange(10))
+        spill.close()
+
+    def test_scatter_and_resize(self, tmp_path):
+        spill = SpillArray(tmp_path / "c.bin", np.int64, chunk_bytes=64)
+        spill.resize(8)
+        spill.scatter(np.array([1, 3, 5]), np.array([10, 30, 50]))
+        view = spill.view()
+        assert view[1] == 10 and view[3] == 30 and view[5] == 50
+        spill.resize(4)
+        assert len(spill) == 4
+        spill.close()
+
+    def test_release_preserves_contents(self, tmp_path):
+        spill = SpillArray(tmp_path / "d.bin", np.float64, chunk_bytes=64)
+        spill.append(np.linspace(0.0, 1.0, 33))
+        spill.release()
+        assert np.array_equal(spill.view(), np.linspace(0.0, 1.0, 33))
+        spill.close()
