@@ -255,9 +255,15 @@ def run_convert_graph(argv: Sequence[str]) -> int:
         help="uniform probability used with --no-weighted-cascade (default 1.0)",
     )
     parser.add_argument("--name", default=None, help="graph name stored in the header")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after writing, re-read every section and check it against its "
+        "stored CRC32 (one full pass over the output file)",
+    )
     args = parser.parse_args(list(argv))
 
-    from repro.graphs.binary import convert_edge_list
+    from repro.graphs.binary import convert_edge_list, verify_rgx
 
     n, m = convert_edge_list(
         args.source,
@@ -274,6 +280,9 @@ def run_convert_graph(argv: Sequence[str]) -> int:
         f"converted {args.source} -> {args.destination}: "
         f"n={n} m={m} ({size} bytes)"
     )
+    if args.verify:
+        checked = verify_rgx(args.destination)
+        print(f"verified {len(checked)} section checksums: ok")
     return 0
 
 

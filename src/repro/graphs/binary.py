@@ -36,6 +36,7 @@ in ``tests/graphs/test_binary_io.py`` and
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -75,6 +76,15 @@ _HEADER = struct.Struct("<4sIQQIIQ")
 
 _FLAG_UNDIRECTED = 1
 
+#: Header flag: the file carries a per-section CRC32 table after the last
+#: array section.  Files without the flag (pre-checksum writers) read
+#: exactly as before; files with it are byte-identical up to the table, so
+#: older readers — whose size check is ``size < total`` — still load them.
+_FLAG_CHECKSUMS = 2
+
+#: Bytes per checksum-table entry (one little-endian uint32 CRC32).
+_CHECKSUM_ENTRY = 4
+
 
 @dataclass(frozen=True)
 class RgxMapping:
@@ -108,12 +118,26 @@ def _section_offsets(n: int, m: int, name_len: int) -> Tuple[Dict[str, Tuple[int
     return sections, offset, data_start
 
 
-def write_rgx(graph: ProbabilisticGraph, path: PathLike) -> Path:
+def _checksum_table_span(total: int) -> Tuple[int, int]:
+    """``(offset, size)`` of the CRC32 table appended after the sections."""
+    offset = _aligned(total)
+    return offset, len(ARRAY_LAYOUT) * _CHECKSUM_ENTRY
+
+
+def write_rgx(
+    graph: ProbabilisticGraph, path: PathLike, checksums: bool = True
+) -> Path:
     """Write ``graph`` to ``path`` in the binary ``.rgx`` format.
 
     The file round-trips exactly: ``n`` is stored explicitly, so graphs
     with isolated trailing nodes — which a plain edge list cannot
     represent — reload identically (``load_rgx(path) == graph``).
+
+    With ``checksums=True`` (default) a CRC32 per array section is
+    appended after the last section and flagged in the header, enabling
+    ``load_rgx(path, verify=True)`` / :func:`verify_rgx` to detect silent
+    on-disk corruption.  The sections themselves are byte-identical either
+    way, so pre-checksum readers load checksummed files unchanged.
     """
     path = Path(path)
     n, m = graph.n, graph.m
@@ -138,6 +162,8 @@ def write_rgx(graph: ProbabilisticGraph, path: PathLike) -> Path:
         "in_probs": np.ascontiguousarray(in_probs, dtype="<f8"),
     }
     flags = _FLAG_UNDIRECTED if graph.undirected_input else 0
+    if checksums:
+        flags |= _FLAG_CHECKSUMS
     header = _HEADER.pack(
         RGX_MAGIC, RGX_VERSION, n, m, flags, len(name_bytes), data_start
     )
@@ -146,11 +172,19 @@ def write_rgx(graph: ProbabilisticGraph, path: PathLike) -> Path:
         handle.write(header)
         handle.write(b"\x00" * (HEADER_SIZE - _HEADER.size))
         handle.write(name_bytes)
+        crcs = []
         for key, dtype, _length_of in ARRAY_LAYOUT:
             offset, _count = sections[key]
             handle.seek(offset)
-            handle.write(arrays[key].tobytes())
+            payload = arrays[key].tobytes()
+            handle.write(payload)
+            crcs.append(zlib.crc32(payload) & 0xFFFFFFFF)
         handle.truncate(total)
+        if checksums:
+            table_offset, table_size = _checksum_table_span(total)
+            handle.seek(table_offset)
+            handle.write(np.asarray(crcs, dtype="<u4").tobytes())
+            handle.truncate(table_offset + table_size)
     return path
 
 
@@ -213,6 +247,61 @@ def read_header(path: PathLike) -> Tuple[int, int, int, str, int]:
     return int(n), int(m), int(flags), name, int(data_start)
 
 
+def verify_rgx(path: PathLike) -> Dict[str, int]:
+    """Recompute and check every section CRC32 of a checksummed ``.rgx``.
+
+    Returns ``{section: crc}`` on success.  Raises
+    :class:`GraphFormatError` when any section's bytes no longer match
+    their stored checksum (silent on-disk corruption, torn writes), when
+    the checksum table itself is truncated, or when the file predates
+    checksumming — an unchecksummed file *cannot* be verified, and saying
+    so loudly beats a false "ok".
+    """
+    path = Path(path)
+    n, m, flags, name, _data_start = read_header(path)
+    if not flags & _FLAG_CHECKSUMS:
+        raise GraphFormatError(
+            f"{path}: file carries no section checksums (written by a "
+            f"pre-checksum writer or with checksums=False) and cannot be "
+            f"verified; re-run `repro-experiments convert-graph` to produce "
+            f"a checksummed file"
+        )
+    name_len = len(name.encode("utf-8"))
+    sections, total, _start = _section_offsets(n, m, name_len)
+    table_offset, table_size = _checksum_table_span(total)
+    size = path.stat().st_size
+    if size < table_offset + table_size:
+        raise GraphFormatError(
+            f"{path}: checksum table is truncated (file is {size} bytes, "
+            f"table ends at {table_offset + table_size}) — the file was cut "
+            f"short after writing; re-run the conversion"
+        )
+    checked: Dict[str, int] = {}
+    with open(path, "rb") as handle:
+        handle.seek(table_offset)
+        table = np.frombuffer(handle.read(table_size), dtype="<u4")
+        for index, (key, dtype, _length_of) in enumerate(ARRAY_LAYOUT):
+            offset, count = sections[key]
+            handle.seek(offset)
+            payload = handle.read(count * dtype.itemsize)
+            if len(payload) != count * dtype.itemsize:
+                raise GraphFormatError(
+                    f"{path}: section {key!r} is truncated — re-run the "
+                    f"conversion"
+                )
+            crc = zlib.crc32(payload) & 0xFFFFFFFF
+            stored = int(table[index])
+            if crc != stored:
+                raise GraphFormatError(
+                    f"{path}: checksum mismatch in section {key!r} (stored "
+                    f"0x{stored:08x}, computed 0x{crc:08x}) — the file is "
+                    f"corrupt on disk; re-run the conversion or restore it "
+                    f"from a good copy"
+                )
+            checked[key] = crc
+    return checked
+
+
 def _mapping_for(path: Path, n: int, m: int, name_len: int) -> RgxMapping:
     sections, _total, _start = _section_offsets(n, m, name_len)
     arrays = {
@@ -242,7 +331,9 @@ def map_rgx_arrays(mapping: RgxMapping) -> Dict[str, np.ndarray]:
     return arrays
 
 
-def load_rgx(path: PathLike, mmap: bool = True) -> ProbabilisticGraph:
+def load_rgx(
+    path: PathLike, mmap: bool = True, verify: bool = False
+) -> ProbabilisticGraph:
     """Load an ``.rgx`` graph.
 
     With ``mmap=True`` (default) the CSR arrays are read-only
@@ -252,8 +343,16 @@ def load_rgx(path: PathLike, mmap: bool = True) -> ProbabilisticGraph:
     workers attach by path).  With ``mmap=False`` the arrays are read
     fully into RAM — the layout the historical constructors produce, used
     as the baseline in the ``graph_io`` benchmark.
+
+    ``verify=True`` runs :func:`verify_rgx` first — a full sequential
+    read checking every section against its stored CRC32 — and raises
+    :class:`GraphFormatError` on corruption or on unchecksummed files.
+    The default stays ``False``: verification costs one pass over the
+    whole file, defeating the O(header) open that mmap exists for.
     """
     path = Path(path)
+    if verify:
+        verify_rgx(path)
     n, m, flags, name, _data_start = read_header(path)
     name_len = len(name.encode("utf-8"))
     mapping = _mapping_for(path, n, m, name_len)

@@ -14,16 +14,32 @@ Spec grammar (comma-separated rules)::
 
     REPRO_FAULT_SPEC = rule[,rule...]
     rule             = kind:tier:nth[:seconds]
-    kind             = kill | poison | delay
-    tier             = sampling | eval
+    kind             = kill | poison | delay | reject | killpool
+    tier             = sampling | eval | service
     nth              = 0-based task-submission ordinal within the tier
     seconds          = float, required for delay rules
+
+``kill`` and ``poison`` target the worker tiers (``sampling``/``eval``);
+``reject`` and ``killpool`` target the ``service`` tier, where the unit
+of submission is one query reaching
+:meth:`repro.service.state.ServiceState.execute_batch`:
+
+* ``reject`` answers that query with a structured shed error (the chaos
+  stand-in for admission control firing) without touching the rest of
+  its fused batch;
+* ``killpool`` SIGKILLs the worker processes of the queried graph's
+  sampling pool *mid-batch*, so the generation underneath the answer has
+  to ride the PR-6 rebuild/degrade ladder;
+* ``delay`` works at every tier (at the service tier it stalls batch
+  execution, creating deadline pressure).
 
 Examples::
 
     REPRO_FAULT_SPEC=kill:sampling:2        # SIGKILL-equivalent on the 3rd sampling shard
     REPRO_FAULT_SPEC=poison:eval:0          # raise InjectedFault in the 1st session task
     REPRO_FAULT_SPEC=delay:sampling:1:0.5   # sleep 0.5 s before running the 2nd shard
+    REPRO_FAULT_SPEC=reject:service:4       # shed the 5th query with a structured 429
+    REPRO_FAULT_SPEC=killpool:service:2     # kill the pool under the 3rd query mid-batch
 
 Determinism: rules are matched **parent-side, at submission time**,
 against a per-pool submission counter — task submission order is itself
@@ -56,10 +72,21 @@ from repro.utils.exceptions import InjectedFault, ValidationError
 FAULT_SPEC_ENV_VAR = "REPRO_FAULT_SPEC"
 
 #: Recognised fault kinds.
-FAULT_KINDS = ("kill", "poison", "delay")
+FAULT_KINDS = ("kill", "poison", "delay", "reject", "killpool")
 
-#: Recognised parallel tiers.
-FAULT_TIERS = ("sampling", "eval")
+#: Recognised tiers (two worker tiers plus the serving tier above them).
+FAULT_TIERS = ("sampling", "eval", "service")
+
+#: Which kinds make sense at which tier: ``kill``/``poison`` fire inside
+#: worker processes, ``reject``/``killpool`` are service-level actions,
+#: ``delay`` stalls anything.
+KIND_TIERS = {
+    "kill": ("sampling", "eval"),
+    "poison": ("sampling", "eval"),
+    "delay": ("sampling", "eval", "service"),
+    "reject": ("service",),
+    "killpool": ("service",),
+}
 
 #: Exit code used by ``kill`` faults (distinctive in worker post-mortems).
 KILL_EXIT_CODE = 70
@@ -104,6 +131,11 @@ def parse_fault_spec(spec: Optional[str]) -> List[FaultRule]:
             raise ValidationError(
                 f"unknown fault tier {parts[1]!r} in rule {chunk!r}; "
                 f"available: {', '.join(FAULT_TIERS)}"
+            )
+        if tier not in KIND_TIERS[kind]:
+            raise ValidationError(
+                f"fault rule {chunk!r}: kind {kind!r} is only valid at "
+                f"tier(s) {', '.join(KIND_TIERS[kind])}"
             )
         try:
             nth = int(nth_raw)
@@ -202,5 +234,7 @@ def perform_fault(rule: Optional[FaultRule]) -> None:
         raise InjectedFault(
             f"injected fault: poisoned {rule.tier} submission #{rule.nth}"
         )
-    else:  # pragma: no cover - parse_fault_spec forbids this
-        raise ValidationError(f"unknown fault kind {rule.kind!r}")
+    else:  # pragma: no cover - reject/killpool are consumed service-side
+        raise ValidationError(
+            f"fault kind {rule.kind!r} cannot be performed inside a worker"
+        )

@@ -57,6 +57,7 @@ from repro.diffusion.mc_engine import (
 from repro.parallel.faults import FaultPlan, FaultRule, perform_fault
 from repro.parallel.seeds import shard_layout, shard_roots, spawn_shard_states
 from repro.parallel.supervisor import (
+    LadderStats,
     SupervisedTask,
     resolve_max_retries,
     resolve_task_timeout,
@@ -204,6 +205,8 @@ class SamplingPool:
         self._broker: Optional[SharedGraphBroker] = None
         self._executor: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        #: Cumulative recovery-ladder counters across this pool's rounds.
+        self.supervision_stats = LadderStats()
 
     def _require_direction(self, direction: str, method: str) -> None:
         if direction not in self._directions:
@@ -232,11 +235,35 @@ class SamplingPool:
         """Whether worker processes are currently alive."""
         return self._executor is not None
 
+    @property
+    def healthy(self) -> bool:
+        """Whether the pool can serve work without a rebuild first.
+
+        ``True`` for an idle pool (workers start lazily) and for a running
+        executor that has not broken; ``False`` once the pool is closed or
+        its executor is flagged broken (a worker died and the next round
+        will pay a rebuild).  The service layer reads this to report pool
+        liveness on ``/healthz`` and to decide degraded answering.
+        """
+        if self._closed:
+            return False
+        if self._executor is None:
+            return True
+        return not getattr(self._executor, "_broken", False)
+
     def _ensure_workers(self) -> None:
         if self._closed:
             raise ValidationError("SamplingPool is closed")
         if self._executor is not None:
-            return
+            if getattr(self._executor, "_broken", False):
+                # A previous round ended with the executor broken (e.g.
+                # its second break degraded the tail in-process).  Pay
+                # the rebuild at round entry instead of raising
+                # BrokenProcessPool out of the initial submission.
+                self._executor.shutdown(wait=False)
+                self._executor = None
+            else:
+                return
         import multiprocessing
 
         method = self._start_method
@@ -266,6 +293,31 @@ class SamplingPool:
             self._executor = None
         self._ensure_workers()
 
+    def kill_workers(self) -> int:
+        """SIGKILL every live worker process; return how many were hit.
+
+        The chaos-harness stand-in for an OOM killer sweeping the pool
+        mid-batch (the ``killpool:service:N`` fault of
+        :mod:`repro.parallel.faults`).  The executor breaks exactly as it
+        would for a real crash, and the next supervised round rides the
+        rebuild/degrade ladder.  A pool with no running workers is a
+        no-op returning 0.
+        """
+        import signal
+
+        if self._executor is None:
+            return 0
+        processes = list(getattr(self._executor, "_processes", {}).values())
+        killed = 0
+        for process in processes:
+            if process.is_alive():
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                    killed += 1
+                except (ProcessLookupError, PermissionError):  # pragma: no cover
+                    pass
+        return killed
+
     def close(self) -> None:
         """Stop workers and unlink shared memory (idempotent)."""
         self._closed = True
@@ -293,6 +345,7 @@ class SamplingPool:
         random_state: RandomState = None,
         backend: str = "vectorized",
         roots: Optional[Sequence[int]] = None,
+        task_timeout: Optional[float] = None,
     ) -> RRBatch:
         """Generate ``count`` RR sets on ``graph`` across the pool's workers.
 
@@ -301,6 +354,11 @@ class SamplingPool:
         round is dispatched (rounds are synchronous, so the mask is never
         rewritten while tasks are in flight).  Output is bit-for-bit
         independent of ``n_jobs`` for a given ``(random_state, count)``.
+
+        ``task_timeout`` tightens (or sets) the per-shard supervision
+        timeout for this call only — how a service-level deadline reaches
+        the recovery ladder without reconfiguring the pool.  ``None``
+        keeps the pool-wide setting.
         """
         if self._closed:
             raise ValidationError("SamplingPool is closed")
@@ -357,8 +415,9 @@ class SamplingPool:
             tasks,
             rebuild=self._rebuild_workers,
             tier="sampling",
-            timeout=self._task_timeout,
+            timeout=self._round_timeout(task_timeout),
             max_retries=self._max_retries,
+            stats=self.supervision_stats,
         )
         batches: List[RRBatch] = []
         for item in raw:
@@ -375,6 +434,17 @@ class SamplingPool:
                     )
                 )
         return merge_rr_batches(batches)
+
+    def _round_timeout(self, task_timeout: Optional[float]) -> Optional[float]:
+        """Effective per-shard timeout for one round (call override wins)."""
+        if task_timeout is None:
+            return self._task_timeout
+        timeout = float(task_timeout)
+        if timeout <= 0:
+            raise ValidationError(f"task_timeout must be > 0 seconds, got {timeout}")
+        if self._task_timeout is not None:
+            return min(timeout, self._task_timeout)
+        return timeout
 
     def _submit_generate(self, count, state, backend, roots):
         """Submit one generation shard to the current executor."""
@@ -395,6 +465,7 @@ class SamplingPool:
         count: int,
         random_state: RandomState = None,
         backend: str = "vectorized",
+        task_timeout: Optional[float] = None,
     ) -> MCBatch:
         """Run ``count`` forward IC cascades from ``seeds`` across the pool.
 
@@ -456,8 +527,9 @@ class SamplingPool:
             tasks,
             rebuild=self._rebuild_workers,
             tier="sampling",
-            timeout=self._task_timeout,
+            timeout=self._round_timeout(task_timeout),
             max_retries=self._max_retries,
+            stats=self.supervision_stats,
         )
         batches: List[MCBatch] = []
         for item in raw:

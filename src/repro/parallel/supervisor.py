@@ -92,6 +92,31 @@ def resolve_max_retries(max_retries: Optional[int] = None) -> int:
 
 
 @dataclass
+class LadderStats:
+    """Cumulative recovery-ladder counters of one pool (mutated in place).
+
+    Every recovery step of :func:`supervised_collect` already logs a
+    WARNING; these counters make the same evidence machine-readable so a
+    serving layer can export it (``/healthz`` pool liveness,
+    ``docs/robustness.md`` "Service resilience") instead of parsing logs.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    rebuilds: int = 0
+    degraded: int = 0  #: tasks that completed via the in-process fallback
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for metrics endpoints."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "rebuilds": self.rebuilds,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
 class SupervisedTask:
     """One unit of supervised work.
 
@@ -135,6 +160,7 @@ def supervised_collect(
     tier: str,
     timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    stats: Optional[LadderStats] = None,
 ) -> List[Any]:
     """Run every task to completion; return results in task order.
 
@@ -146,7 +172,13 @@ def supervised_collect(
     Results are ordered by ``task.index`` position in ``tasks`` — the
     caller's merge order — regardless of completion order, retries, or
     degradations, which is what keeps recovery bit-for-bit invisible.
+
+    ``stats`` (optional) accumulates the recovery steps taken — one
+    :class:`LadderStats` per pool makes crash survival observable to
+    monitoring endpoints without changing any result.
     """
+    if stats is None:
+        stats = LadderStats()  # throwaway accumulator, keeps the body branch-free
     results: List[Any] = [None] * len(tasks)
     done = [False] * len(tasks)
     attempts = [1] * len(tasks)
@@ -168,9 +200,11 @@ def supervised_collect(
                     # The worker may still be grinding on it; abandon the
                     # future (its eventual result is discarded) and finish
                     # the task here.
+                    stats.timeouts += 1
                     results[position] = _degrade(
                         task, tier, f"task exceeded {timeout}s timeout"
                     )
+                    stats.degraded += 1
                     done[position] = True
                 except BrokenExecutor:
                     executor_broken = True
@@ -178,6 +212,7 @@ def supervised_collect(
                 except Exception as exc:
                     if attempts[position] <= max_retries:
                         attempts[position] += 1
+                        stats.retries += 1
                         logger.warning(
                             "%s tier: %s failed (%s: %s) — retry %d/%d",
                             tier,
@@ -199,6 +234,7 @@ def supervised_collect(
                             f"exhausted {max_retries} retries "
                             f"(last error: {type(exc).__name__}: {exc})",
                         )
+                        stats.degraded += 1
                         done[position] = True
             if executor_broken:
                 # Harvest tasks that finished before the break — only the
@@ -215,6 +251,7 @@ def supervised_collect(
                 incomplete = [p for p in range(len(tasks)) if not done[p]]
                 if rebuilds_left > 0:
                     rebuilds_left -= 1
+                    stats.rebuilds += 1
                     logger.warning(
                         "%s tier: worker pool broke (worker died?) — "
                         "rebuilding and replaying %d incomplete task(s)",
@@ -235,6 +272,7 @@ def supervised_collect(
                         results[position] = _degrade(
                             tasks[position], tier, "worker pool broke twice"
                         )
+                        stats.degraded += 1
                         done[position] = True
     except BaseException:
         # WorkerError from a failed degradation, or an interrupt: release

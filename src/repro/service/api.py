@@ -33,11 +33,25 @@ import asyncio
 import json
 import logging
 import signal
+import time
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.service.batcher import RequestBatcher
+from repro.service.resilience import (
+    arm_deadline,
+    error_answer,
+    error_status,
+    is_error_answer,
+    resolve_deadline_ms,
+    resolve_max_inflight,
+)
 from repro.service.state import ServiceState
-from repro.utils.exceptions import ReproError, ValidationError
+from repro.utils.exceptions import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadError,
+    ValidationError,
+)
 
 logger = logging.getLogger("repro.service")
 
@@ -50,8 +64,10 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -116,6 +132,18 @@ class SeedingServer:
     window_ms / max_batch:
         Coalescing knobs forwarded to :class:`RequestBatcher` (``None``
         honours ``REPRO_SERVICE_BATCH_MS``).
+    max_pending:
+        Pending-queue bound forwarded to :class:`RequestBatcher`
+        (``None`` honours ``REPRO_SERVICE_MAX_PENDING``).
+    max_inflight:
+        Bound on concurrently admitted ``/query`` requests (``None``
+        honours ``REPRO_SERVICE_MAX_INFLIGHT``); excess load is answered
+        with a structured 429 instead of being queued.
+    deadline_ms:
+        Default per-query deadline (``None`` honours
+        ``REPRO_SERVICE_DEADLINE_MS``); a query's own ``deadline_ms``
+        field wins.  Expired queries get a structured 504 — or a cached
+        answer flagged ``degraded: true`` when one exists.
     """
 
     def __init__(
@@ -125,19 +153,32 @@ class SeedingServer:
         port: int = 8321,
         window_ms: Optional[float] = None,
         max_batch: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self._state = state
         self._host = host
         self._port = int(port)
         self._batcher = RequestBatcher(
-            state.execute_batch, window_ms=window_ms, max_batch=max_batch
+            state.execute_batch,
+            window_ms=window_ms,
+            max_batch=max_batch,
+            max_pending=max_pending,
         )
+        self._max_inflight = resolve_max_inflight(max_inflight)
+        self._deadline_ms = resolve_deadline_ms(deadline_ms)
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._connections: set = set()  # (task, writer) per live connection
         self._closed = False
         self._requests_served = 0
         self._cache_fast_hits = 0
+        self._inflight = 0
+        self._shed_requests = 0
+        self._deadline_expired = 0
+        self._degraded_served = 0
+        self._last_success: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -290,11 +331,7 @@ class SeedingServer:
         path = path.split("?", 1)[0]
         try:
             if path == "/healthz" and method == "GET":
-                return 200, {
-                    "status": "ok",
-                    "versions": list(self._state.versions),
-                    "closed": self._state.closed,
-                }
+                return self._healthz()
             if path == "/metrics" and method == "GET":
                 return 200, self.metrics()
             if path == "/shutdown" and method == "POST":
@@ -311,6 +348,55 @@ class SeedingServer:
             logger.exception("unhandled error answering %s %s", method, path)
             return 500, {"error": f"internal error: {exc}"}
 
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness *and* health: a wedged server answers 503, not "ok".
+
+        ``pools`` distinguishes a broken worker pool from a running one,
+        ``pending_queries``/``inflight`` expose queue depth, and
+        ``last_success_age_s`` ages the most recent successful query —
+        together enough for an orchestrator to restart a server that is
+        alive but no longer answering.
+        """
+        pools = self._state.pool_health()
+        wedged = any(not health["healthy"] for health in pools.values())
+        healthy = not self._closed and not self._state.closed and not wedged
+        age = (
+            None
+            if self._last_success is None
+            else round(time.monotonic() - self._last_success, 3)
+        )
+        return (200 if healthy else 503), {
+            "status": "ok" if healthy else "degraded",
+            "versions": list(self._state.versions),
+            "closed": self._state.closed,
+            "pools": pools,
+            "pending_queries": self._batcher.pending,
+            "inflight": self._inflight,
+            "last_success_age_s": age,
+        }
+
+    def _note_success(self) -> None:
+        self._last_success = time.monotonic()
+
+    def _deadline_response(
+        self, request: Mapping[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Answer an expired query: a degraded cached answer, else a 504."""
+        self._deadline_expired += 1
+        try:
+            degraded = self._state.try_degraded(request)
+        except (ValidationError, ReproError):
+            degraded = None
+        if degraded is not None:
+            self._degraded_served += 1
+            self._note_success()
+            return 200, degraded
+        return 504, error_answer(
+            DeadlineExceeded(
+                "query deadline expired before an answer was produced"
+            )
+        )
+
     async def _answer_query(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         try:
             request = json.loads(body.decode("utf-8") or "{}")
@@ -320,15 +406,63 @@ class SeedingServer:
             return 400, {"error": "request body must be a JSON object"}
         if self._closed or self._batcher.closed:
             return 503, {"error": "service is shutting down"}
+        if self._max_inflight is not None and self._inflight >= self._max_inflight:
+            self._shed_requests += 1
+            return 429, error_answer(
+                ServiceOverloadError(
+                    f"request shed: {self._inflight} queries in flight "
+                    f"(max_inflight={self._max_inflight})",
+                    retry_after_ms=self._batcher.retry_after_ms(),
+                )
+            )
+        self._inflight += 1
+        try:
+            return await self._answer_admitted(request)
+        finally:
+            self._inflight -= 1
+
+    async def _answer_admitted(
+        self, request: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            deadline = arm_deadline(request, self._deadline_ms)
+        except (ValidationError, TypeError) as exc:
+            return 400, {"error": str(exc), "code": "invalid"}
         cached = self._state.try_cached(request)
         if cached is not None:
             self._cache_fast_hits += 1
+            self._note_success()
             return 200, cached
         try:
-            answer = await self._batcher.submit(request)
+            if deadline is None:
+                answer = await self._batcher.submit(request)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return self._deadline_response(request)
+                answer = await asyncio.wait_for(
+                    self._batcher.submit(request), timeout=remaining
+                )
+        except asyncio.TimeoutError:
+            # The batch underneath keeps computing (its eventual answer
+            # warms the cache); this caller gets degraded-or-504 now.
+            return self._deadline_response(request)
+        except ServiceOverloadError as exc:
+            self._shed_requests += 1
+            return 429, error_answer(exc)
         except (ValidationError, ReproError) as exc:
             status = 503 if self._batcher.closed else 400
             return status, {"error": str(exc)}
+        if is_error_answer(answer):
+            status = error_status(answer)
+            if status == 429:
+                self._shed_requests += 1
+            elif status == 504:
+                self._deadline_expired += 1
+            return status, answer
+        self._note_success()
+        if answer.get("degraded"):
+            self._degraded_served += 1
         return 200, answer
 
     def metrics(self) -> Dict[str, Any]:
@@ -341,5 +475,12 @@ class SeedingServer:
                 "cache_fast_hits": self._cache_fast_hits,
                 "port": self._port,
                 "closed": self._closed,
+                "inflight": self._inflight,
+                "shed_requests": self._shed_requests,
+                "deadline_expired": self._deadline_expired,
+                "degraded_served": self._degraded_served,
+                "last_success_age_s": None
+                if self._last_success is None
+                else round(time.monotonic() - self._last_success, 3),
             },
         }

@@ -28,11 +28,13 @@ late :meth:`submit` calls fail fast with a clear error.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.service.resilience import resolve_max_pending
 from repro.utils.env import read_env_float
-from repro.utils.exceptions import ValidationError
+from repro.utils.exceptions import ServiceOverloadError, ValidationError
 
 #: Coalescing-window knob, in milliseconds (default 5.0; 0 = flush per
 #: event-loop tick, still coalescing requests that arrived together).
@@ -64,6 +66,8 @@ class BatchStats:
     drained_requests: int = 0  #: requests answered by the shutdown drain
     failed_batches: int = 0
     batch_size_sum: int = 0
+    shed_requests: int = 0  #: submissions rejected by the pending-queue bound
+    last_batch_ms: float = 0.0  #: wall-clock of the most recent batch
 
     @property
     def mean_batch_size(self) -> float:
@@ -88,6 +92,8 @@ class BatchStats:
             "mean_batch_size": self.mean_batch_size,
             "drained_requests": self.drained_requests,
             "failed_batches": self.failed_batches,
+            "shed_requests": self.shed_requests,
+            "last_batch_ms": self.last_batch_ms,
         }
 
 
@@ -106,6 +112,14 @@ class RequestBatcher:
         Coalescing window; ``None`` honours ``REPRO_SERVICE_BATCH_MS``.
     max_batch:
         Optional hard batch-size cap; a full window flushes immediately.
+    max_pending:
+        Admission-control bound on the pending queue (``None`` honours
+        ``REPRO_SERVICE_MAX_PENDING``, defaulting to unbounded — the
+        historical behaviour).  A submission arriving at a full queue is
+        shed immediately with a
+        :class:`~repro.utils.exceptions.ServiceOverloadError` carrying a
+        ``retry_after_ms`` estimate, instead of queueing unboundedly
+        behind a slow batch.
     """
 
     def __init__(
@@ -113,12 +127,14 @@ class RequestBatcher:
         execute: Callable[[Sequence[Mapping[str, Any]]], List[Dict[str, Any]]],
         window_ms: Optional[float] = None,
         max_batch: Optional[int] = None,
+        max_pending: Optional[int] = None,
     ) -> None:
         if max_batch is not None and int(max_batch) < 1:
             raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
         self._execute = execute
         self._window = resolve_batch_window(window_ms)
         self._max_batch = None if max_batch is None else int(max_batch)
+        self._max_pending = resolve_max_pending(max_pending)
         self._pending: List[Tuple[Mapping[str, Any], asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._flush_tasks: set = set()
@@ -141,10 +157,26 @@ class RequestBatcher:
             self._exec_lock = asyncio.Lock()
         return self._exec_lock
 
+    def retry_after_ms(self) -> float:
+        """When shed load should retry: one window plus the last batch's cost."""
+        return self._window * 1000.0 + max(self.stats.last_batch_ms, 1.0)
+
     async def submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
-        """Enqueue one request and await its (possibly batched) answer."""
+        """Enqueue one request and await its (possibly batched) answer.
+
+        Raises :class:`ServiceOverloadError` without enqueueing when the
+        pending queue is at its ``max_pending`` bound — shedding at the
+        door keeps the tail latency of admitted requests bounded.
+        """
         if self._closed:
             raise ValidationError("the request batcher is closed (service shutdown)")
+        if self._max_pending is not None and len(self._pending) >= self._max_pending:
+            self.stats.shed_requests += 1
+            raise ServiceOverloadError(
+                f"request shed: {len(self._pending)} queries already pending "
+                f"(max_pending={self._max_pending})",
+                retry_after_ms=self.retry_after_ms(),
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((request, future))
@@ -195,6 +227,7 @@ class RequestBatcher:
                 return
             requests = [request for request, _ in batch]
             loop = asyncio.get_running_loop()
+            begin = time.perf_counter()
             try:
                 answers = await loop.run_in_executor(
                     None, lambda: self._execute(requests)
@@ -203,6 +236,7 @@ class RequestBatcher:
                 self.stats.failed_batches += 1
                 self._resolve(batch, None, exc)
                 return
+            self.stats.last_batch_ms = (time.perf_counter() - begin) * 1000.0
             self.stats.record(len(batch))
             self._resolve(batch, answers, None)
 

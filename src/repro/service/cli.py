@@ -23,6 +23,7 @@ import argparse
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.parallel.faults import FaultPlan
 from repro.service.api import SeedingServer
 from repro.service.loadgen import (
     LoadResult,
@@ -43,6 +44,7 @@ def build_service_state(
     n_jobs: Optional[int] = None,
     cache_size: Optional[int] = None,
     collection_capacity: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ServiceState:
     """Load a graph once and wrap it in a registered :class:`ServiceState`.
 
@@ -57,6 +59,7 @@ def build_service_state(
         n_jobs=n_jobs,
         cache_size=cache_size,
         collection_capacity=collection_capacity,
+        fault_plan=fault_plan,
     )
     try:
         if dataset == "toy":
@@ -133,6 +136,34 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
     )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="journal directory for crash-safe warm restart (default "
+        "REPRO_SERVICE_STATE_DIR; a dir holding a journal is restored, "
+        "an empty one starts cold — either way journaling continues)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-query deadline in ms (default "
+        "REPRO_SERVICE_DEADLINE_MS, else none)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="shed load beyond this many queued queries (default "
+        "REPRO_SERVICE_MAX_PENDING, else unbounded)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="shed load beyond this many admitted /query requests "
+        "(default REPRO_SERVICE_MAX_INFLIGHT, else unbounded)",
+    )
     _add_state_arguments(parser)
     return parser
 
@@ -140,22 +171,48 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 def run_serve(argv: Optional[Sequence[str]] = None) -> int:
     """``repro-experiments serve`` entry point."""
     args = _build_serve_parser().parse_args(argv)
-    state = build_service_state(
-        dataset=args.dataset,
-        nodes=args.nodes,
-        num_samples=args.samples,
-        mc_simulations=args.mc_sims,
-        seed=args.seed,
-        n_jobs=args.jobs,
-        cache_size=args.cache_size,
-        collection_capacity=args.collections,
-    )
+    from repro.service.persistence import has_journal, resolve_state_dir
+
+    state_dir = resolve_state_dir(args.state_dir)
+    if state_dir is not None and has_journal(state_dir):
+        state = ServiceState.restore(
+            state_dir,
+            n_jobs=args.jobs,
+            cache_size=args.cache_size,
+            collection_capacity=args.collections,
+        )
+        print(
+            f"seeding service: warm restart from {state_dir} "
+            f"({len(state.answer_cache)} answers, "
+            f"{len(state.collection_cache)} warm collections)",
+            flush=True,
+        )
+    else:
+        state = build_service_state(
+            dataset=args.dataset,
+            nodes=args.nodes,
+            num_samples=args.samples,
+            mc_simulations=args.mc_sims,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            cache_size=args.cache_size,
+            collection_capacity=args.collections,
+        )
+    if state_dir is not None:
+        try:
+            state.enable_journal(state_dir)
+        except BaseException:
+            state.close()
+            raise
     server = SeedingServer(
         state,
         host=args.host,
         port=args.port,
         window_ms=args.batch_ms,
         max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        deadline_ms=args.deadline_ms,
     )
 
     async def _serve() -> None:
@@ -217,7 +274,8 @@ def _format_result(result: LoadResult) -> str:
     for key in (
         "mode", "concurrency", "queries", "errors", "duration_s", "qps",
         "p50_ms", "p99_ms", "cache_hits", "cache_hit_rate", "batches",
-        "coalesced_batches", "max_batch_size",
+        "coalesced_batches", "max_batch_size", "shed", "deadline_expired",
+        "degraded", "healthy",
     ):
         lines.append(f"  {key:>18}: {row[key]}")
     return "\n".join(lines)
@@ -302,4 +360,10 @@ def run_loadgen(argv: Optional[Sequence[str]] = None) -> int:
         write_rows_csv(rows, f"{args.out}.csv")
         write_rows_json(rows, f"{args.out}.json")
         print(f"wrote series to {args.out}.csv / {args.out}.json")
+    if not result.healthy:
+        print(
+            f"loadgen: FAILED — the server finished the run degraded: "
+            f"{result.health}"
+        )
+        return 1
     return 0

@@ -210,8 +210,21 @@ class LoadResult:
     rate: Optional[float]
     latencies_ms: List[float] = field(default_factory=list)
     errors: int = 0
+    shed: int = 0  #: structured 429 answers (admission control fired)
+    deadline_expired: int = 0  #: structured 504 answers (deadline fired)
+    degraded: int = 0  #: 200 answers served from stale cache under pressure
     duration_s: float = 0.0
     metrics: Dict[str, Any] = field(default_factory=dict)
+    health: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the final ``/healthz`` scrape reported ``"ok"``.
+
+        ``True`` when health was never scraped: a run against a server
+        that predates ``/healthz`` enrichment should not fail for it.
+        """
+        return str(self.health.get("status", "ok")) == "ok"
 
     @property
     def completed(self) -> int:
@@ -222,6 +235,27 @@ class LoadResult:
     def qps(self) -> float:
         """Sustained successful queries per second."""
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def account(
+        self, status: int, payload: Mapping[str, Any], elapsed_ms: float
+    ) -> None:
+        """Classify one completed round-trip.
+
+        Structured backpressure — 429 shed, 504 deadline — is counted in
+        its own column, *not* as an error: those are the resilience layer
+        answering correctly under pressure.  ``errors`` keeps meaning
+        "the service misbehaved" (transport failures, 5xx, bad requests).
+        """
+        if status == 200:
+            self.latencies_ms.append(elapsed_ms)
+            if payload.get("degraded"):
+                self.degraded += 1
+        elif status == 429:
+            self.shed += 1
+        elif status == 504:
+            self.deadline_expired += 1
+        else:
+            self.errors += 1
 
     def percentile(self, q: float) -> float:
         """Latency percentile in milliseconds (0.0 when nothing completed)."""
@@ -251,6 +285,10 @@ class LoadResult:
             "batches": batcher.get("batches", 0),
             "coalesced_batches": batcher.get("coalesced_batches", 0),
             "max_batch_size": batcher.get("max_batch_size", 0),
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "degraded": self.degraded,
+            "healthy": self.healthy,
         }
         row.update(extra)
         return row
@@ -293,18 +331,15 @@ async def run_load(
                     cursor["next"] = index + 1
                     begin = time.perf_counter()
                     try:
-                        status, _ = await client.request(
+                        status, payload = await client.request(
                             "POST", "/query", queries[index]
                         )
                     except Exception:
                         result.errors += 1
                         continue
-                    if status == 200:
-                        result.latencies_ms.append(
-                            (time.perf_counter() - begin) * 1000.0
-                        )
-                    else:
-                        result.errors += 1
+                    result.account(
+                        status, payload, (time.perf_counter() - begin) * 1000.0
+                    )
             finally:
                 await client.aclose()
 
@@ -318,13 +353,10 @@ async def run_load(
                 client = ServiceClient(host, port)
                 begin = time.perf_counter()
                 try:
-                    status, _ = await client.request("POST", "/query", query)
-                    if status == 200:
-                        result.latencies_ms.append(
-                            (time.perf_counter() - begin) * 1000.0
-                        )
-                    else:
-                        result.errors += 1
+                    status, payload = await client.request("POST", "/query", query)
+                    result.account(
+                        status, payload, (time.perf_counter() - begin) * 1000.0
+                    )
                 except Exception:
                     result.errors += 1
                 finally:
@@ -346,6 +378,12 @@ async def run_load(
             status, payload = await client.request("GET", "/metrics")
             if status == 200:
                 result.metrics = payload
+            # /healthz answers 200 or 503 with the same body shape; either
+            # way the payload is the health verdict the run is judged by.
+            _status, health = await client.request("GET", "/healthz")
+            result.health = health
+        except Exception:  # a wedged server: the health field stays empty
+            pass
         finally:
             await client.aclose()
     return result

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -48,12 +49,25 @@ import numpy as np
 from repro.diffusion.mc_engine import replay_live_edges, sample_live_chunks
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph
+from repro.parallel.faults import FaultPlan, FaultRule
 from repro.parallel.pool import SamplingPool, resolve_jobs
 from repro.sampling.coverage import CoverageCounter
 from repro.sampling.flat_collection import FlatRRCollection
 from repro.service.cache import LRUCache, answer_key, mask_digest
+from repro.service.resilience import (
+    error_answer,
+    expired,
+    is_error_answer,
+    raise_error_answer,
+    time_left,
+)
 from repro.utils.env import read_env_int
-from repro.utils.exceptions import ValidationError
+from repro.utils.exceptions import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadError,
+    ValidationError,
+)
 
 #: Answer-cache capacity knob (entries; default 1024, 0 disables).
 CACHE_SIZE_ENV_VAR = "REPRO_SERVICE_CACHE_SIZE"
@@ -132,6 +146,10 @@ class ServiceState:
     cache_size / collection_capacity:
         Capacities of the answer / warm-collection LRUs (``None`` honours
         ``REPRO_SERVICE_CACHE_SIZE`` / ``REPRO_SERVICE_COLLECTIONS``).
+    fault_plan:
+        Service-tier fault-injection plan for chaos testing (``None``
+        reads ``REPRO_FAULT_SPEC``; an empty plan injects nothing).  The
+        unit of submission is one query reaching :meth:`execute_batch`.
     """
 
     def __init__(
@@ -142,6 +160,7 @@ class ServiceState:
         n_jobs: Optional[int] = None,
         cache_size: Optional[int] = None,
         collection_capacity: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_samples < 1:
             raise ValidationError(f"num_samples must be >= 1, got {num_samples}")
@@ -152,6 +171,14 @@ class ServiceState:
         self._graphs: Dict[str, GraphEntry] = {}
         self._answers = LRUCache(resolve_cache_size(cache_size))
         self._collections = LRUCache(resolve_collection_capacity(collection_capacity))
+        self._faults = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        #: removed-node lists by ``(version, digest)`` — digests are not
+        #: invertible, so warm-restart needs this to rebuild residual views.
+        self._removed_by_digest: Dict[Tuple[str, str], Tuple[int, ...]] = {}
+        self._deadline_expired = 0
+        self._degraded_answers = 0
+        self._faults_injected = 0
+        self._journal = None  # set by enable_journal()
         self._lock = threading.Lock()
         self._closed = False
 
@@ -202,13 +229,16 @@ class ServiceState:
                 f"immutable — register updated graphs under a new version"
             )
         cost_map = {int(k): float(v) for k, v in (costs or {}).items()}
-        self._graphs[version] = GraphEntry(
+        entry = GraphEntry(
             version=version,
             index=index,
             graph=graph,
             costs=cost_map,
             metadata=dict(metadata or {}),
         )
+        self._graphs[version] = entry
+        if self._journal is not None:
+            self._journal.record_graph(self, entry)
         return version
 
     def entry(self, version: Optional[str] = None) -> GraphEntry:
@@ -265,34 +295,63 @@ class ServiceState:
         return entry.pool
 
     def collection_for(
-        self, entry: GraphEntry, view: ResidualGraph, digest: str
+        self,
+        entry: GraphEntry,
+        view: ResidualGraph,
+        digest: str,
+        num_samples: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> FlatRRCollection:
         """The warm RR collection of one residual state (generate on miss).
 
         The generation stream depends only on ``(master seed, graph
-        index, digest)``, so an evicted-and-regenerated collection is
-        bit-for-bit the one that was dropped — cache pressure can change
-        latency but never answers.
+        index, digest)`` — plus the sample count when a query overrides
+        θ — so an evicted-and-regenerated collection is bit-for-bit the
+        one that was dropped: cache pressure can change latency but never
+        answers.  ``task_timeout`` bounds each supervised shard for this
+        generation only (a deadline reaching the PR-6 ladder; a slow
+        shard degrades in-process to the identical bytes).  A pool whose
+        executor broke is bypassed the same way — generation falls back
+        to the in-process ``n_jobs=1`` path while the next round rebuilds.
         """
-        key = (entry.version, digest)
+        num = self._num_samples if num_samples is None else int(num_samples)
+        key = (entry.version, digest, num)
         collection = self._collections.get(key)
         if collection is not None:
             return collection
-        rng = self._stream(entry, digest)
+        if num == self._num_samples:
+            rng = self._stream(entry, digest)
+        else:
+            # Extra words (a tag plus the count) keep override streams
+            # disjoint from both the historical collection stream and the
+            # mc_spread streams, which use a single extra word.
+            rng = self._stream(entry, digest, 1, num)
         pool = self._pool(entry)
-        if pool is not None:
-            collection = FlatRRCollection.generate(
-                view, self._num_samples, rng, pool=pool
-            )
+        if pool is not None and pool.healthy:
+            if task_timeout is not None:
+                collection = FlatRRCollection(
+                    pool.generate(view, num, rng, task_timeout=task_timeout)
+                )
+            else:
+                collection = FlatRRCollection.generate(view, num, rng, pool=pool)
         else:
             # n_jobs=1 routes through the same deterministic shard layout
             # the pool uses (in-process, no workers or shared memory), so
             # answers are independent of the configured worker count.
-            collection = FlatRRCollection.generate(
-                view, self._num_samples, rng, n_jobs=1
-            )
+            # An unhealthy pool lands here too: degrade now, rebuild later.
+            if pool is not None:
+                self._degraded_answers += 1
+            collection = FlatRRCollection.generate(view, num, rng, n_jobs=1)
         entry.generations += 1
         self._collections.put(key, collection)
+        if self._journal is not None:
+            self._journal.record_collection(
+                entry.version,
+                digest,
+                num,
+                () if digest == "full"
+                else self._removed_by_digest.get((entry.version, digest)),
+            )
         return collection
 
     # ------------------------------------------------------------------ #
@@ -302,6 +361,16 @@ class ServiceState:
     def _parameters(self) -> Tuple[int, int, int]:
         """The frozen-parameter component of every answer-cache key."""
         return (self._seed, self._num_samples, self._mc_simulations)
+
+    def _effective_samples(self, request: Mapping[str, Any]) -> Optional[int]:
+        """A query's θ override (``None`` = the service default)."""
+        samples = request.get("samples")
+        if samples is None:
+            return None
+        samples = int(samples)
+        if samples < 1:
+            raise ValidationError(f"samples must be >= 1, got {samples}")
+        return samples
 
     def try_cached(self, request: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
         """Answer ``request`` from the cache, or ``None`` on a miss.
@@ -317,6 +386,62 @@ class ServiceState:
         if cached is None:
             return None
         return dict(cached, cached=True)
+
+    def try_degraded(self, request: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """A cached answer served *degraded*, or ``None`` when there is none.
+
+        Under deadline pressure the service prefers a correct-but-older
+        answer over a 504: the exact cache key is probed first (the real
+        answer may have landed while the caller was timing out), then —
+        when the query asked for a larger θ via ``samples`` — the same
+        query at the default θ.  Lookups use recency-neutral, uncounted
+        peeks, so degraded serving never perturbs cache statistics or
+        eviction order, and no lock is taken (reads race an in-flight
+        batch benignly: worst case is a miss).
+        """
+        self._require_open()
+        entry = self.entry(request.get("version"))
+        _, mask, _ = self._residual_view(entry, request.get("removed") or ())
+        return self._degraded_lookup(entry, mask, _query_of(request))
+
+    def _degraded_lookup(
+        self, entry: GraphEntry, mask: Optional[np.ndarray], query: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        candidates = [query]
+        if "samples" in query:
+            candidates.append({k: v for k, v in query.items() if k != "samples"})
+        for candidate in candidates:
+            key = answer_key(entry.version, mask, self._parameters(), candidate)
+            cached = self._answers.peek(key)
+            if cached is not None:
+                self._degraded_answers += 1
+                return dict(cached, cached=True, degraded=True)
+        return None
+
+    def _perform_service_fault(
+        self, rule: FaultRule, request: Mapping[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Execute one armed service-tier fault; an answer sheds the query."""
+        self._faults_injected += 1
+        if rule.kind == "delay":
+            time.sleep(rule.seconds)
+            return None
+        if rule.kind == "reject":
+            return error_answer(
+                ServiceOverloadError(
+                    f"injected fault: shed service submission #{rule.nth}",
+                    retry_after_ms=10.0,
+                )
+            )
+        if rule.kind == "killpool":
+            try:
+                entry = self.entry(request.get("version"))
+            except ValidationError:
+                return None
+            if entry.pool is not None:
+                entry.pool.kill_workers()
+            return None
+        return None  # pragma: no cover - parser rejects other kinds
 
     def execute_batch(
         self, requests: Sequence[Mapping[str, Any]]
@@ -343,52 +468,125 @@ class ServiceState:
         self, requests: Sequence[Mapping[str, Any]]
     ) -> List[Dict[str, Any]]:
         results: List[Optional[Dict[str, Any]]] = [None] * len(requests)
-        groups: Dict[Tuple[str, str, str], List[int]] = {}
-        contexts = []
+        groups: Dict[Tuple[str, str, str, int], List[int]] = {}
+        contexts: List[Optional[Tuple[GraphEntry, ResidualGraph, str, Any]]] = [
+            None
+        ] * len(requests)
         for position, request in enumerate(requests):
-            op = str(request.get("op", "spread"))
-            if op not in OPERATIONS:
-                raise ValidationError(
-                    f"unknown op {op!r}; available: {', '.join(OPERATIONS)}"
+            rule = self._faults.take("service")
+            if rule is not None:
+                shed = self._perform_service_fault(rule, request)
+                if shed is not None:
+                    results[position] = shed
+                    continue
+            try:
+                op = str(request.get("op", "spread"))
+                if op not in OPERATIONS:
+                    raise ValidationError(
+                        f"unknown op {op!r}; available: {', '.join(OPERATIONS)}"
+                    )
+                entry = self.entry(request.get("version"))
+                view, mask, digest = self._residual_view(
+                    entry, request.get("removed") or ()
                 )
-            entry = self.entry(request.get("version"))
-            view, mask, digest = self._residual_view(
-                entry, request.get("removed") or ()
-            )
-            key = answer_key(
-                entry.version, mask, self._parameters(), _query_of(request)
-            )
+                samples = self._effective_samples(request)
+                key = answer_key(
+                    entry.version, mask, self._parameters(), _query_of(request)
+                )
+            except (ValidationError, ReproError) as exc:
+                # A bad request is answered in place — its batchmates
+                # never see it (the serving tier's poison isolation).
+                results[position] = error_answer(exc)
+                continue
+            if digest != "full":
+                self._removed_by_digest[(entry.version, digest)] = tuple(
+                    sorted({int(v) for v in request.get("removed") or ()})
+                )
             cached = self._answers.get(key)
-            contexts.append((entry, view, digest, key))
+            contexts[position] = (entry, view, digest, key)
             if cached is not None:
                 results[position] = dict(cached, cached=True)
                 continue
+            if expired(request):
+                # The deadline budget was eaten before this batch ran
+                # (queueing, an earlier slow batch, an injected delay).
+                # Prefer a degraded cached answer; otherwise a structured
+                # 504 — either way the rest of the batch is untouched.
+                self._deadline_expired += 1
+                degraded = self._degraded_lookup(entry, mask, _query_of(request))
+                if degraded is not None:
+                    results[position] = degraded
+                else:
+                    results[position] = error_answer(
+                        DeadlineExceeded(
+                            "query deadline expired before execution "
+                            "(raise deadline_ms or reduce load)"
+                        )
+                    )
+                continue
             family = "mc" if op == "mc_spread" else "ris"
-            groups.setdefault((entry.version, digest, family), []).append(position)
-        for (version, digest, family), positions in groups.items():
+            effective = self._num_samples if samples is None else samples
+            groups.setdefault(
+                (entry.version, digest, family, effective), []
+            ).append(position)
+        for (version, digest, family, samples), positions in groups.items():
             entry, view, _, _ = contexts[positions[0]]
-            if family == "mc":
-                answers = self._answer_mc_group(
-                    entry, view, digest, [requests[p] for p in positions]
-                )
-            else:
-                answers = self._answer_ris_group(
-                    entry, view, digest, [requests[p] for p in positions]
-                )
+            group_requests = [requests[p] for p in positions]
+            try:
+                if family == "mc":
+                    answers = self._answer_mc_group(
+                        entry, view, digest, group_requests
+                    )
+                else:
+                    answers = self._answer_ris_group(
+                        entry, view, digest, group_requests, num_samples=samples
+                    )
+            except (ValidationError, ReproError) as exc:
+                # Group-level failure (generation died beyond recovery):
+                # every member gets the structured error, nobody hangs.
+                answers = [error_answer(exc) for _ in positions]
             for position, answer in zip(positions, answers):
+                if is_error_answer(answer):
+                    results[position] = answer
+                    continue
                 answer["cached"] = False
-                self._answers.put(contexts[position][3], dict(answer, cached=None))
+                cache_value = dict(answer, cached=None)
+                self._answers.put(contexts[position][3], cache_value)
+                if self._journal is not None:
+                    self._journal.record_answer(contexts[position][3], cache_value)
                 results[position] = answer
             entry.queries += len(positions)
         return [dict(r) for r in results]  # type: ignore[arg-type]
 
     def query(self, request: Mapping[str, Any]) -> Dict[str, Any]:
-        """Answer one request (the unbatched reference path)."""
-        return self.execute_batch([request])[0]
+        """Answer one request (the unbatched reference path).
+
+        Structured error answers are converted back into their typed
+        exceptions here, preserving the historical ``raise`` contract of
+        direct callers while batch execution stays poison-free.
+        """
+        answer = self.execute_batch([request])[0]
+        raise_error_answer(answer)
+        return answer
 
     # ------------------------------------------------------------------ #
     # group evaluators
     # ------------------------------------------------------------------ #
+
+    def _group_task_timeout(
+        self, requests: Sequence[Mapping[str, Any]]
+    ) -> Optional[float]:
+        """The supervision timeout one group's deadlines imply (or ``None``).
+
+        The tightest live deadline in the group bounds every generation
+        shard, floored at 50 ms so the ladder has room to degrade a shard
+        in-process (same bytes, never a poisoned batch).
+        """
+        lefts = [time_left(r) for r in requests]
+        live = [left for left in lefts if left is not None]
+        if not live:
+            return None
+        return max(min(live), 0.05)
 
     def _answer_ris_group(
         self,
@@ -396,8 +594,15 @@ class ServiceState:
         view: ResidualGraph,
         digest: str,
         requests: Sequence[Mapping[str, Any]],
+        num_samples: Optional[int] = None,
     ) -> List[Dict[str, Any]]:
-        collection = self.collection_for(entry, view, digest)
+        collection = self.collection_for(
+            entry,
+            view,
+            digest,
+            num_samples=num_samples,
+            task_timeout=self._group_task_timeout(requests),
+        )
         spread_positions = [
             i for i, r in enumerate(requests) if str(r.get("op", "spread")) == "spread"
         ]
@@ -412,22 +617,25 @@ class ServiceState:
         answers: List[Dict[str, Any]] = []
         for i, request in enumerate(requests):
             op = str(request.get("op", "spread"))
-            if op == "spread":
-                seeds = [int(v) for v in request.get("seeds") or []]
-                answers.append(
-                    {"op": op, "version": entry.version, "seeds": seeds,
-                     "spread": float(spreads[i])}
-                )
-            elif op == "marginal":
-                node = int(request.get("node", -1))
-                conditioning = [int(v) for v in request.get("conditioning") or []]
-                value = collection.estimate_marginal_spread(node, conditioning)
-                answers.append(
-                    {"op": op, "version": entry.version, "node": node,
-                     "conditioning": conditioning, "marginal_spread": float(value)}
-                )
-            else:  # topk
-                answers.append(self._answer_topk(entry, collection, request))
+            try:
+                if op == "spread":
+                    seeds = [int(v) for v in request.get("seeds") or []]
+                    answers.append(
+                        {"op": op, "version": entry.version, "seeds": seeds,
+                         "spread": float(spreads[i])}
+                    )
+                elif op == "marginal":
+                    node = int(request.get("node", -1))
+                    conditioning = [int(v) for v in request.get("conditioning") or []]
+                    value = collection.estimate_marginal_spread(node, conditioning)
+                    answers.append(
+                        {"op": op, "version": entry.version, "node": node,
+                         "conditioning": conditioning, "marginal_spread": float(value)}
+                    )
+                else:  # topk
+                    answers.append(self._answer_topk(entry, collection, request))
+            except (ValidationError, ReproError) as exc:
+                answers.append(error_answer(exc))
         return answers
 
     def _answer_topk(
@@ -500,12 +708,16 @@ class ServiceState:
         over however many queries share the batch).
         """
         by_sims: Dict[int, List[int]] = {}
-        for i, request in enumerate(requests):
-            sims = int(request.get("simulations") or self._mc_simulations)
-            if sims < 1:
-                raise ValidationError(f"simulations must be >= 1, got {sims}")
-            by_sims.setdefault(sims, []).append(i)
         answers: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        for i, request in enumerate(requests):
+            try:
+                sims = int(request.get("simulations") or self._mc_simulations)
+                if sims < 1:
+                    raise ValidationError(f"simulations must be >= 1, got {sims}")
+            except (ValidationError, ReproError) as exc:
+                answers[i] = error_answer(exc)
+                continue
+            by_sims.setdefault(sims, []).append(i)
         probs = entry.graph.out_csr()[2]
         for sims, positions in by_sims.items():
             seed_sets = [
@@ -546,6 +758,11 @@ class ServiceState:
                 self._collections.stats.as_dict(), size=len(self._collections),
                 capacity=self._collections.capacity,
             ),
+            "resilience": {
+                "deadline_expired": self._deadline_expired,
+                "degraded_answers": self._degraded_answers,
+                "faults_injected": self._faults_injected,
+            },
             "graphs": {
                 version: {
                     "index": entry.index,
@@ -554,10 +771,99 @@ class ServiceState:
                     "queries": entry.queries,
                     "generations": entry.generations,
                     "pool_running": bool(entry.pool is not None and entry.pool.running),
+                    "pool_healthy": entry.pool.healthy if entry.pool else True,
+                    "supervision": entry.pool.supervision_stats.as_dict()
+                    if entry.pool
+                    else None,
                 }
                 for version, entry in self._graphs.items()
             },
         }
+
+    def pool_health(self) -> Dict[str, Dict[str, bool]]:
+        """Per-graph pool liveness (what ``/healthz`` distinguishes).
+
+        A graph without a pool (``n_jobs<=1``) reports healthy: the
+        in-process path cannot wedge the way worker processes can.
+        """
+        return {
+            version: {
+                "running": bool(entry.pool is not None and entry.pool.running),
+                "healthy": entry.pool.healthy if entry.pool else True,
+            }
+            for version, entry in self._graphs.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # crash-safe warm restart
+    # ------------------------------------------------------------------ #
+
+    def enable_journal(self, state_dir) -> "Any":
+        """Journal warm state to ``state_dir`` from now on.
+
+        Attaching first *compacts* the journal to the state's current
+        contents (atomic per-file rewrite), then every graph
+        registration, cached answer and warm-collection generation is
+        appended and flushed as it happens — so a SIGKILL at any moment
+        loses at most one torn line.  Returns the attached journal.
+        Re-attaching the directory the state was just restored from is
+        idempotent.
+        """
+        from repro.service.persistence import StateJournal
+
+        self._require_open()
+        journal = StateJournal(state_dir)
+        journal.attach(self)
+        self._journal = journal
+        return journal
+
+    def snapshot(self, state_dir=None) -> "Any":
+        """Write (or compact) a full journal of the current warm state.
+
+        With ``state_dir=None`` the attached journal is compacted in
+        place; otherwise a one-shot journal is written to ``state_dir``
+        without enabling incremental journaling.  Returns the journal.
+        """
+        from repro.service.persistence import StateJournal
+
+        self._require_open()
+        if state_dir is None:
+            if self._journal is None:
+                raise ValidationError(
+                    "snapshot() needs a state_dir when no journal is "
+                    "attached (call enable_journal first)"
+                )
+            journal = self._journal
+        else:
+            journal = StateJournal(state_dir)
+        journal.attach(self)
+        return journal
+
+    @classmethod
+    def restore(
+        cls,
+        state_dir,
+        n_jobs: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        collection_capacity: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        rebuild_collections: bool = True,
+    ) -> "ServiceState":
+        """Rebuild a state from a journal dir (bit-for-bit answers).
+
+        See :func:`repro.service.persistence.restore_state`; call
+        :meth:`enable_journal` afterwards to keep journaling.
+        """
+        from repro.service.persistence import restore_state
+
+        return restore_state(
+            state_dir,
+            n_jobs=n_jobs,
+            cache_size=cache_size,
+            collection_capacity=collection_capacity,
+            fault_plan=fault_plan,
+            rebuild_collections=rebuild_collections,
+        )
 
     def close(self) -> None:
         """Release pools, brokers and warm state (idempotent).
@@ -573,6 +879,9 @@ class ServiceState:
             if self._closed:
                 return
             self._closed = True
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
             for entry in self._graphs.values():
                 if entry.pool is not None:
                     entry.pool.close()
@@ -598,7 +907,7 @@ def _query_of(request: Mapping[str, Any]) -> Dict[str, Any]:
     relevant = {}
     for field_name in (
         "op", "seeds", "node", "conditioning", "k", "budget", "segment",
-        "simulations", "removed",
+        "simulations", "removed", "samples",
     ):
         value = request.get(field_name)
         if value is None:

@@ -54,6 +54,33 @@ class WorkerError(ReproError, RuntimeError):
         self.segments = tuple(segments)
 
 
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A service query ran out of its per-query deadline budget.
+
+    Raised by the serving tier (:mod:`repro.service`) when a query carries
+    a ``deadline_ms`` (or the ``REPRO_SERVICE_DEADLINE_MS`` default is
+    set) and the deadline passes before an answer is produced.  The HTTP
+    layer maps it to a structured ``504``-style JSON error; the query
+    never poisons the rest of its fused batch (``docs/robustness.md``,
+    "Service resilience").
+    """
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The service shed a request instead of queueing it unboundedly.
+
+    Raised by the admission-control layer (:mod:`repro.service.batcher`
+    bounded pending queue, :class:`repro.service.api.SeedingServer`
+    inflight budget).  Carries ``retry_after_ms`` — the server's estimate
+    of when capacity frees up — which the HTTP layer serialises into the
+    structured ``429`` answer.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = float(retry_after_ms)
+
+
 class InjectedFault(ReproError, RuntimeError):
     """An artificial failure raised by the fault-injection harness.
 

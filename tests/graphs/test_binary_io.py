@@ -14,10 +14,12 @@ from repro.graphs.binary import (
     RGX_MAGIC,
     RGX_VERSION,
     RgxMapping,
+    _FLAG_CHECKSUMS,
     convert_edge_list,
     load_rgx,
     map_rgx_arrays,
     read_header,
+    verify_rgx,
     write_rgx,
 )
 from repro.graphs.generators import erdos_renyi
@@ -182,3 +184,63 @@ class TestValidation:
         path.unlink()
         with pytest.raises(GraphFormatError, match="does not exist"):
             map_rgx_arrays(mapping)
+
+
+class TestChecksums:
+    def test_checksummed_by_default_and_verifies(self, graph, tmp_path):
+        path = write_rgx(graph, tmp_path / "g.rgx")
+        _n, _m, flags, _name, _start = read_header(path)
+        assert flags & _FLAG_CHECKSUMS
+        checked = verify_rgx(path)
+        assert set(checked) == {
+            "out_offsets", "out_targets", "out_probs",
+            "in_offsets", "in_sources", "in_probs",
+        }
+        assert _csr_equal(graph, load_rgx(path, verify=True))
+
+    def test_legacy_file_loads_but_refuses_verification(self, graph, tmp_path):
+        path = write_rgx(graph, tmp_path / "legacy.rgx", checksums=False)
+        assert _csr_equal(graph, load_rgx(path))  # plain load: unchanged
+        with pytest.raises(GraphFormatError, match="no section checksums"):
+            verify_rgx(path)
+        with pytest.raises(GraphFormatError, match="no section checksums"):
+            load_rgx(path, verify=True)
+
+    def test_sections_identical_with_and_without_checksums(self, graph, tmp_path):
+        legacy = write_rgx(graph, tmp_path / "legacy.rgx", checksums=False)
+        current = write_rgx(graph, tmp_path / "current.rgx")
+        size = legacy.stat().st_size
+        # Past the header (whose flags differ by the checksum bit), the
+        # first `size` bytes are identical: the table is purely appended.
+        assert legacy.read_bytes()[HEADER_SIZE:] == current.read_bytes()[HEADER_SIZE:size]
+
+    def test_corrupted_section_is_detected(self, graph, tmp_path):
+        path = write_rgx(graph, tmp_path / "g.rgx")
+        data = bytearray(path.read_bytes())
+        _n, _m, _flags, _name, data_start = read_header(path)
+        data[data_start + 8] ^= 0xFF  # flip one byte inside out_offsets
+        path.write_bytes(bytes(data))
+        with pytest.raises(GraphFormatError, match="checksum mismatch.*out_offsets"):
+            verify_rgx(path)
+        with pytest.raises(GraphFormatError, match="checksum mismatch"):
+            load_rgx(path, verify=True)
+        # The historical unverified load stays available (and oblivious).
+        load_rgx(path, verify=False)
+
+    def test_truncated_checksum_table_is_detected(self, graph, tmp_path):
+        path = write_rgx(graph, tmp_path / "g.rgx")
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 4)
+        with pytest.raises(GraphFormatError, match="checksum table is truncated"):
+            verify_rgx(path)
+
+    def test_converter_verify_flag(self, tmp_path, capsys):
+        source = tmp_path / "edges.txt"
+        source.write_text("0 1\n1 2\n2 0\n")
+        from repro.experiments.__main__ import run_convert_graph
+
+        destination = tmp_path / "g.rgx"
+        assert run_convert_graph([str(source), str(destination), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified 6 section checksums: ok" in out

@@ -191,6 +191,42 @@ class TestSamplingChaos:
             again = pool.generate(graph, 200, 7)
             _assert_batches_equal(serial, again)
 
+    def test_two_kills_in_one_wave_rebuild_and_match(self, graph):
+        # Both workers die in the same round (every worker gone at once):
+        # one rebuild must replay every incomplete shard, in order.
+        serial = parallel_generate_rr_batch(graph, 200, 13, n_jobs=1, shard_size=64)
+        plan = FaultPlan.from_spec("kill:sampling:0,kill:sampling:1")
+        with SamplingPool(graph, n_jobs=2, shard_size=64, fault_plan=plan) as pool:
+            chaotic = pool.generate(graph, 200, 13)
+            _assert_batches_equal(serial, chaotic)
+            assert pool.supervision_stats.rebuilds >= 1
+            # The rebuilt pool keeps working deterministically.
+            _assert_batches_equal(serial, pool.generate(graph, 200, 13))
+        assert not plan.armed
+
+    def test_kill_during_rebuild_degrades_and_matches(self, graph):
+        # The second kill lands on a *replayed* submission — the pool
+        # breaks again mid-recovery, and the ladder's last rung (degrade
+        # everything incomplete in-process) still produces exact bytes.
+        serial = parallel_generate_rr_batch(graph, 200, 17, n_jobs=1, shard_size=64)
+        plan = FaultPlan.from_spec("kill:sampling:0,kill:sampling:4")
+        with SamplingPool(graph, n_jobs=2, shard_size=64, fault_plan=plan) as pool:
+            chaotic = pool.generate(graph, 200, 17)
+            _assert_batches_equal(serial, chaotic)
+            stats = pool.supervision_stats
+            assert stats.rebuilds >= 1
+        assert not plan.armed
+
+    def test_supervision_stats_accumulate_across_rounds(self, graph):
+        plan = FaultPlan.from_spec("kill:sampling:0,kill:sampling:6")
+        with SamplingPool(graph, n_jobs=2, shard_size=64, fault_plan=plan) as pool:
+            pool.generate(graph, 200, 19)
+            first = dataclasses.replace(pool.supervision_stats)
+            pool.generate(graph, 200, 23)
+            second = pool.supervision_stats
+            assert second.rebuilds >= first.rebuilds
+            assert second.as_dict()["rebuilds"] == second.rebuilds
+
     def test_poisoned_shard_retries_clean_and_matches(self, graph):
         serial = parallel_generate_rr_batch(graph, 200, 3, n_jobs=1, shard_size=64)
         plan = FaultPlan.from_spec("poison:sampling:0")
