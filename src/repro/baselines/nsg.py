@@ -42,6 +42,9 @@ class NSG:
     n_jobs:
         Worker processes for generating the batch (``None`` honours
         ``REPRO_JOBS``; ``-1`` uses all cores).
+    backend:
+        Kernel backend for RR generation (``None`` honours
+        ``REPRO_BACKEND``; all backends sample identically).
     """
 
     name = "NSG"
@@ -52,6 +55,7 @@ class NSG:
         num_samples: int = 10_000,
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         require_positive(num_samples, "num_samples")
@@ -59,6 +63,7 @@ class NSG:
         self._num_samples = int(num_samples)
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
+        self._backend = backend
 
     @property
     def target(self) -> List[int]:
@@ -76,7 +81,8 @@ class NSG:
         """Greedy profit selection on one RR-set batch."""
         timer = Timer().start()
         collection = FlatRRCollection.generate(
-            graph, self._num_samples, self._rng, n_jobs=self._n_jobs
+            graph, self._num_samples, self._rng,
+            backend=self._backend, n_jobs=self._n_jobs,
         )
         scale = graph.n / max(collection.num_sets, 1)
         cost_map: Dict[int, float] = {int(k): float(v) for k, v in costs.items()}

@@ -98,6 +98,7 @@ class ADDATP:
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
         sample_reuse: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -117,6 +118,7 @@ class ADDATP:
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
         self._sample_reuse = bool(sample_reuse)
+        self._backend = backend
 
     @property
     def target(self) -> List[int]:
@@ -188,6 +190,7 @@ class ADDATP:
                 self._rng,
                 pool=pool,
                 sample_reuse=self._sample_reuse,
+                backend=self._backend,
             )
             while True:
                 rounds += 1

@@ -52,6 +52,10 @@ class FrontRearEstimator:
         Optional persistent :class:`SamplingPool` for generation.
     sample_reuse:
         Select the reuse policy described in the module docstring.
+    backend:
+        Kernel backend name forwarded to every generation call (``None``
+        resolves through the registry's defaults; every registered
+        backend samples bit-for-bit identical collections).
     """
 
     __slots__ = (
@@ -62,6 +66,7 @@ class FrontRearEstimator:
         "_rng",
         "_pool",
         "_reuse",
+        "_backend",
         "_front",
         "_rear",
         "_front_counter",
@@ -77,6 +82,7 @@ class FrontRearEstimator:
         random_state: RandomState,
         pool: Optional[SamplingPool] = None,
         sample_reuse: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         self._view = view
         self._node = int(node)
@@ -85,6 +91,7 @@ class FrontRearEstimator:
         self._rng = random_state
         self._pool = pool
         self._reuse = bool(sample_reuse)
+        self._backend = backend
         self._front: Optional[FlatRRCollection] = None
         self._rear: Optional[FlatRRCollection] = None
         self._front_counter: Optional[CoverageCounter] = None
@@ -102,18 +109,22 @@ class FrontRearEstimator:
             extra = theta - self._front.num_sets
             if extra > 0:
                 self._front.extend_generate(
-                    self._view, extra, self._rng, pool=self._pool
+                    self._view, extra, self._rng,
+                    backend=self._backend, pool=self._pool,
                 )
                 self._rear.extend_generate(
-                    self._view, extra, self._rng, pool=self._pool
+                    self._view, extra, self._rng,
+                    backend=self._backend, pool=self._pool,
                 )
                 generated = 2 * extra
         else:
             self._front = FlatRRCollection.generate(
-                self._view, theta, self._rng, pool=self._pool
+                self._view, theta, self._rng,
+                backend=self._backend, pool=self._pool,
             )
             self._rear = FlatRRCollection.generate(
-                self._view, theta, self._rng, pool=self._pool
+                self._view, theta, self._rng,
+                backend=self._backend, pool=self._pool,
             )
             generated = 2 * theta
             if self._reuse:

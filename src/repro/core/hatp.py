@@ -83,6 +83,10 @@ class HATP:
         only the newly required sets (roughly halves the RR sets generated
         per iteration at a geometric schedule).  ``False`` (default)
         regenerates per round on the exact historical RNG stream.
+    backend:
+        Kernel backend for RR generation, resolved through the registry
+        (``None`` honours ``REPRO_BACKEND``; all backends are
+        bit-for-bit identical, so this only changes speed).
     """
 
     name = "HATP"
@@ -100,6 +104,7 @@ class HATP:
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
         sample_reuse: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -122,6 +127,7 @@ class HATP:
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
         self._sample_reuse = bool(sample_reuse)
+        self._backend = backend
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -222,6 +228,7 @@ class HATP:
                 self._rng,
                 pool=pool,
                 sample_reuse=self._sample_reuse,
+                backend=self._backend,
             )
             while True:
                 rounds += 1

@@ -50,6 +50,7 @@ class HNTP:
         random_state: RandomState = None,
         n_jobs: Optional[int] = None,
         sample_reuse: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         require(len(target) > 0, "target set must not be empty")
         self._target: List[int] = [int(v) for v in target]
@@ -72,6 +73,7 @@ class HNTP:
         self._rng = ensure_rng(random_state)
         self._n_jobs = resolve_jobs(n_jobs)
         self._sample_reuse = bool(sample_reuse)
+        self._backend = backend
 
     @property
     def target(self) -> List[int]:
@@ -134,6 +136,7 @@ class HNTP:
                 self._rng,
                 pool=pool,
                 sample_reuse=self._sample_reuse,
+                backend=self._backend,
             )
             while True:
                 rounds += 1

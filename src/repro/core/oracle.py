@@ -169,7 +169,8 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
     :func:`repro.diffusion.mc_engine.resolve_mc_backend`; ``None`` honours
     ``REPRO_MC_BACKEND`` and defaults to the historical per-cascade
     ``"python"`` loop, keeping the exact historical RNG streams).  With
-    ``backend="vectorized"`` every spread query runs as one batched
+    any batched backend (``"vectorized"``, ``"auto"``, or a compiled
+    kernel) every spread query runs as one batched
     frontier-at-a-time sweep, and ``n_jobs`` shards the
     :meth:`expected_spread` batches across a persistent
     :class:`~repro.parallel.pool.SamplingPool` per base graph (call
@@ -180,7 +181,7 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
     is bit-for-bit equality with the historical per-realization loop, and
     sharding would re-draw the realizations per shard and break it.
 
-    The vectorized backend additionally unlocks the *batched query API*
+    The batched backends additionally unlock the *batched query API*
     (:meth:`marginal_spreads`, :meth:`marginal_spread_pair`): many
     candidate marginals are evaluated against one shared realization
     stream (common random numbers across *queries*, not just within one),
@@ -200,7 +201,7 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
         self._num_simulations = int(num_simulations)
         self._rng = ensure_rng(random_state)
         self._backend = resolve_mc_backend(backend)
-        self._n_jobs = resolve_jobs(n_jobs) if self._backend == "vectorized" else None
+        self._n_jobs = resolve_jobs(n_jobs) if self._backend != "python" else None
         self._pool = None
 
     @property
@@ -210,7 +211,7 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
 
     @property
     def backend(self) -> str:
-        """Resolved simulation backend (``"python"`` or ``"vectorized"``)."""
+        """Resolved simulation backend (a registered kernel name)."""
         return self._backend
 
     def _query_pool(self, view: ResidualGraph):
@@ -266,7 +267,11 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
         for live in sample_live_chunks(self._rng, base.out_csr()[2], sims):
             for index, seed_set in enumerate(seed_sets):
                 if seed_set:
-                    totals[index] += int(replay_live_edges(view, seed_set, live).sum())
+                    totals[index] += int(
+                        replay_live_edges(
+                            view, seed_set, live, backend=self._backend
+                        ).sum()
+                    )
         return totals / sims
 
     def marginal_spreads(
@@ -286,7 +291,7 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
         """
         nodes = [int(v) for v in nodes]
         conditioning = [int(v) for v in conditioning_set]
-        if self._backend != "vectorized":
+        if self._backend == "python":
             return np.asarray(
                 [self.marginal_spread(graph, node, conditioning) for node in nodes],
                 dtype=np.float64,
@@ -321,7 +326,7 @@ class MonteCarloSpreadOracle(_PooledOracleMixin):
         node = int(node)
         front = [int(v) for v in front_conditioning]
         rear = [int(v) for v in rear_conditioning]
-        if self._backend != "vectorized":
+        if self._backend == "python":
             return (
                 self.marginal_spread(graph, node, front),
                 self.marginal_spread(graph, node, rear),

@@ -55,14 +55,15 @@ from typing import Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import kernels
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.sampling.engine import flat_slice_indices
-from repro.utils.env import read_env_choice
 from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
-#: Recognised values for the ``backend`` argument across the MC API.
+#: The historical reference backend names (the full set of recognised
+#: values — including compiled backends — lives in the kernel registry).
 BACKENDS = ("vectorized", "python")
 
 #: Environment variable consulted when a caller leaves ``backend`` unset.
@@ -70,25 +71,26 @@ MC_BACKEND_ENV_VAR = "REPRO_MC_BACKEND"
 
 
 def resolve_mc_backend(backend: Optional[str] = None) -> str:
-    """Resolve a Monte-Carlo backend request to a concrete value.
+    """Resolve a Monte-Carlo backend request to a concrete kernel name.
 
-    * an explicit value wins (``"vectorized"`` or ``"python"``);
+    A thin wrapper over :func:`repro.kernels.resolve_backend` — one
+    shared parser and one shared error message listing every registered
+    backend — with the Monte-Carlo knob's historical semantics:
+
+    * an explicit value wins (any registered backend, or ``"auto"`` for
+      the fastest available one);
     * ``None`` falls back to the ``REPRO_MC_BACKEND`` environment variable;
     * ``None`` with no environment override resolves to ``"python"`` — the
       historical per-cascade loop, so defaults keep the exact historical
       RNG streams bit-for-bit.
+
+    ``"python"`` selects the sequential per-cascade strategy at the
+    :mod:`repro.diffusion.spread` entry points; every other name runs
+    the batched engine with that kernel backend.
     """
-    if backend is None:
-        backend = read_env_choice(MC_BACKEND_ENV_VAR, BACKENDS)
-        if backend is None:
-            return "python"
-        return backend
-    backend = str(backend).strip().lower()
-    if backend not in BACKENDS:
-        raise ValidationError(
-            f"unknown MC backend {backend!r}; available: {', '.join(BACKENDS)}"
-        )
-    return backend
+    return kernels.resolve_backend(
+        backend, env_var=MC_BACKEND_ENV_VAR, default="python"
+    )
 
 
 #: Soft cap on floats materialised per live-edge chunk (~32 MB of draws).
@@ -247,7 +249,7 @@ def simulate_ic_batch(
     seeds: Iterable[int],
     count: int,
     random_state: RandomState = None,
-    backend: str = "vectorized",
+    backend: Optional[str] = None,
 ) -> MCBatch:
     """Run ``count`` independent IC cascades from ``seeds`` as one batch.
 
@@ -261,17 +263,17 @@ def simulate_ic_batch(
     count:
         Number of independent cascades.
     random_state:
-        Seed / generator; both backends consume it identically.
+        Seed / generator; every backend consumes it identically.
     backend:
-        ``"vectorized"`` (NumPy frontier-at-a-time engine, default) or
-        ``"python"`` (loop-based reference with the same RNG contract).
+        Kernel backend name resolved through the registry
+        (:func:`repro.kernels.resolve_backend`): ``None`` honours
+        ``REPRO_BACKEND`` and defaults to ``"vectorized"``; ``"auto"``
+        picks the fastest available backend — every backend is
+        bit-for-bit identical, so the choice never changes the batch.
     """
     if count < 0:
         raise ValidationError(f"count must be >= 0, got {count}")
-    if backend not in BACKENDS:
-        raise ValidationError(
-            f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
-        )
+    spec = kernels.get_backend(backend)
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     if count == 0:
         return _empty_batch(0, view.n)
@@ -279,9 +281,7 @@ def simulate_ic_batch(
     if seed_array.size == 0:
         return _empty_batch(count, view.n)
     rng = ensure_rng(random_state)
-    if backend == "python":
-        return _simulate_batch_python(view, seed_array, count, rng)
-    return _simulate_batch_vectorized(view, seed_array, count, rng)
+    return spec.simulate_batch(view, seed_array, count, rng)
 
 
 # --------------------------------------------------------------------- #
@@ -318,7 +318,13 @@ def _frontier_sweep(
     drift apart.
     """
     n = view.n
-    out_offsets, out_targets, _ = view.base.out_csr()
+    # prepare_csr centralizes the uint32 -> int64 handling of mmap'd
+    # ``.rgx`` node arrays: gathered slices upcast through ``csr.gather``.
+    csr = kernels.prepare_csr(
+        *view.base.out_csr(),
+        capabilities=kernels.backend_capabilities("vectorized"),
+    )
+    out_offsets = csr.offsets
 
     # Every simulation starts from the same (active, deduplicated) seeds.
     frontier_sim = np.repeat(np.arange(count, dtype=np.int64), seeds.size)
@@ -336,7 +342,7 @@ def _frontier_sweep(
             break
         edge_idx = flat_slice_indices(starts, degrees)
         expand_sim = np.repeat(frontier_sim, degrees)
-        targets = out_targets[edge_idx].astype(np.int64, copy=False)
+        targets = csr.gather(edge_idx)
         expand_sim, targets = traverse(expand_sim, edge_idx, targets)
         if targets.size == 0:
             break
@@ -442,11 +448,25 @@ def _simulate_batch_python(
 # --------------------------------------------------------------------- #
 
 
+def _replay_batch_vectorized(
+    view: ResidualGraph, seeds: np.ndarray, live: np.ndarray
+) -> MCBatch:
+    """Vectorized replay kernel: one deterministic sweep per world row."""
+    active = view.active_mask
+
+    def traverse(expand_sim, edge_idx, targets):
+        keep = active[targets] & live[expand_sim, edge_idx]
+        return expand_sim[keep], targets[keep]
+
+    return _frontier_sweep(view, seeds, int(live.shape[0]), traverse)
+
+
 def replay_live_edges(
     graph: ProbabilisticGraph | ResidualGraph,
     seeds: Iterable[int],
     live: np.ndarray,
     return_members: bool = False,
+    backend: Optional[str] = None,
 ) -> np.ndarray | MCBatch:
     """Batched live-edge reachability: one cascade per precomputed world.
 
@@ -455,7 +475,8 @@ def replay_live_edges(
     rows share the same seed set; traversal is restricted to the active
     nodes of ``graph`` exactly like :meth:`repro.diffusion.realization.
     BaseRealization.activated_by`.  Deterministic (no randomness): replaying
-    the same worlds always yields the same activated sets.
+    the same worlds always yields the same activated sets, whichever
+    registered kernel ``backend`` runs the sweep.
 
     Returns the per-realization spreads (int64 array of length ``B``), or
     the full :class:`MCBatch` of activated sets when ``return_members``.
@@ -463,6 +484,7 @@ def replay_live_edges(
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     base = view.base
     n = view.n
+    spec = kernels.get_backend(backend)
     live = np.asarray(live, dtype=bool)
     if live.ndim != 2:
         raise ValidationError(
@@ -473,17 +495,12 @@ def replay_live_edges(
         raise ValidationError(
             f"live must have one column per edge ({base.m}), got {live.shape[1]}"
         )
-    active = view.active_mask
     seed_array = _resolve_seeds(view, seeds)
     if count == 0 or seed_array.size == 0:
         empty = _empty_batch(count, n)
         return empty if return_members else empty.spreads()
 
-    def traverse(expand_sim, edge_idx, targets):
-        keep = active[targets] & live[expand_sim, edge_idx]
-        return expand_sim[keep], targets[keep]
-
-    batch = _frontier_sweep(view, seed_array, count, traverse)
+    batch = spec.replay_batch(view, seed_array, live)
     return batch if return_members else batch.spreads()
 
 

@@ -27,15 +27,17 @@ The Monte-Carlo estimators accept ``backend=``, resolved through
 
 * ``"python"`` (default) — the historical per-cascade loop; defaults keep
   the exact historical RNG streams bit-for-bit.
-* ``"vectorized"`` — the batched engine of
-  :mod:`repro.diffusion.mc_engine`: all cascades of a query advance
-  frontier-at-a-time in bulk NumPy operations, optionally sharded across a
-  :class:`~repro.parallel.pool.SamplingPool` (``n_jobs`` / ``pool``) under
-  the library-wide determinism contract (output independent of the worker
-  count).  For :func:`monte_carlo_marginal_spread` the vectorized backend
-  consumes the *same* realization stream as the historical loop (one
-  ``rng.random(m)`` row per simulation), so it returns bit-for-bit
-  identical estimates.
+* any other registered kernel backend (``"vectorized"``, ``"numba"``,
+  ``"native"``, or ``"auto"`` for the fastest available) — the batched
+  engine of :mod:`repro.diffusion.mc_engine`: all cascades of a query
+  advance frontier-at-a-time with that kernel, optionally sharded across
+  a :class:`~repro.parallel.pool.SamplingPool` (``n_jobs`` / ``pool``)
+  under the library-wide determinism contract (output independent of the
+  worker count and of the kernel choice).  For
+  :func:`monte_carlo_marginal_spread` the batched engines consume the
+  *same* realization stream as the historical loop (one ``rng.random(m)``
+  row per simulation), so every backend returns bit-for-bit identical
+  estimates.
 """
 
 from __future__ import annotations
@@ -149,12 +151,15 @@ def monte_carlo_spread(
     seeds = list(seeds)
     if not seeds:
         return 0.0
-    if resolve_mc_backend(backend) == "python":
+    resolved = resolve_mc_backend(backend)
+    if resolved == "python":
         total = 0
         for _ in range(num_simulations):
             total += len(simulate_ic(graph, seeds, rng))
         return total / num_simulations
-    batch = _dispatch_simulate(graph, seeds, num_simulations, rng, n_jobs, pool)
+    batch = _dispatch_simulate(
+        graph, seeds, num_simulations, rng, n_jobs, pool, resolved
+    )
     return batch.total_spread() / num_simulations
 
 
@@ -169,12 +174,15 @@ def monte_carlo_spread_samples(
 ) -> np.ndarray:
     """Return the individual spread samples (for variance / CI analysis)."""
     rng = ensure_rng(random_state)
-    if resolve_mc_backend(backend) == "python":
+    resolved = resolve_mc_backend(backend)
+    if resolved == "python":
         samples = np.empty(num_simulations, dtype=np.float64)
         for index in range(num_simulations):
             samples[index] = len(simulate_ic(graph, seeds, rng))
         return samples
-    batch = _dispatch_simulate(graph, list(seeds), num_simulations, rng, n_jobs, pool)
+    batch = _dispatch_simulate(
+        graph, list(seeds), num_simulations, rng, n_jobs, pool, resolved
+    )
     return batch.spreads().astype(np.float64)
 
 
@@ -219,7 +227,8 @@ def monte_carlo_marginal_spread(
         return 0.0
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     base = view.base
-    if resolve_mc_backend(backend) == "python":
+    resolved = resolve_mc_backend(backend)
+    if resolved == "python":
         total = 0.0
         for _ in range(num_simulations):
             world = Realization.sample(base, rng)
@@ -230,10 +239,14 @@ def monte_carlo_marginal_spread(
 
     total_int = 0
     for live in sample_live_chunks(rng, base.out_csr()[2], num_simulations):
-        with_spreads = replay_live_edges(view, conditioning + [node], live)
+        with_spreads = replay_live_edges(
+            view, conditioning + [node], live, backend=resolved
+        )
         total_int += int(with_spreads.sum())
         if conditioning:
-            total_int -= int(replay_live_edges(view, conditioning, live).sum())
+            total_int -= int(
+                replay_live_edges(view, conditioning, live, backend=resolved).sum()
+            )
     return total_int / num_simulations
 
 
@@ -270,15 +283,16 @@ def _dispatch_simulate(
     random_state: RandomState,
     n_jobs: Optional[int],
     pool: Optional["SamplingPool"],
+    backend: str = "vectorized",
 ) -> MCBatch:
     """Route one batched MC query through the pool / sharded / plain engine."""
     from repro.parallel.pool import parallel_simulate_ic_batch, resolve_jobs
 
     if pool is not None:
-        return pool.simulate(graph, seeds, count, random_state, backend="vectorized")
+        return pool.simulate(graph, seeds, count, random_state, backend=backend)
     jobs = resolve_jobs(n_jobs)
     if jobs is not None:
         return parallel_simulate_ic_batch(
-            graph, seeds, count, random_state, backend="vectorized", n_jobs=jobs
+            graph, seeds, count, random_state, backend=backend, n_jobs=jobs
         )
-    return simulate_ic_batch(graph, seeds, count, random_state, backend="vectorized")
+    return simulate_ic_batch(graph, seeds, count, random_state, backend=backend)

@@ -64,6 +64,13 @@ EXPERIMENTS = (
 JOURNALED_EXPERIMENTS = frozenset(EXPERIMENTS) - {"table2", "clean-shm"}
 
 
+def _backend_choices() -> list:
+    """Every registered kernel backend plus ``auto`` (for --help listings)."""
+    from repro import kernels
+
+    return list(kernels.registered_backends()) + [kernels.AUTO]
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -93,11 +100,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mc-backend",
-        choices=["python", "vectorized"],
+        choices=_backend_choices(),
         default=None,
         help="forward Monte-Carlo backend for scoring seed sets against "
         "realizations (default: the REPRO_MC_BACKEND environment variable, "
-        "else the historical per-cascade python loop)",
+        "else the historical per-cascade python loop; 'auto' picks the "
+        "fastest available kernel)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=_backend_choices(),
+        default=None,
+        help="RR-sampling kernel backend (default: the REPRO_BACKEND "
+        "environment variable, else 'vectorized'; 'auto' picks the fastest "
+        "available kernel; every backend samples identical RR sets)",
     )
     parser.add_argument(
         "--journal",
@@ -150,6 +166,8 @@ def run_experiment(args: argparse.Namespace, journal: Optional[ResultJournal] = 
         scale = scale.with_engine(eval_jobs=args.eval_jobs)
     if args.mc_backend is not None:
         scale = scale.with_engine(mc_backend=args.mc_backend)
+    if args.backend is not None:
+        scale = scale.with_engine(backend=args.backend)
     seed = args.seed
     if args.experiment == "table2":
         return reproduce_table2(scale, dataset_names=args.datasets, random_state=seed)

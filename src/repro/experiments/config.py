@@ -63,8 +63,15 @@ class EngineParameters:
     """Forward Monte-Carlo simulation backend used when scoring seed sets
     against evaluation realizations (``None`` honours the
     ``REPRO_MC_BACKEND`` environment variable and defaults to the
-    historical per-cascade ``"python"`` loop; ``"vectorized"`` batch-replays
-    all realizations at once with identical outcomes)."""
+    historical per-cascade ``"python"`` loop; any other registered kernel
+    backend — ``"vectorized"``, ``"numba"``, ``"native"``, or ``"auto"``
+    — batch-replays all realizations at once with identical outcomes)."""
+    backend: Optional[str] = None
+    """RR-sampling kernel backend threaded into every algorithm the suite
+    builds (``None`` honours the ``REPRO_BACKEND`` environment variable
+    and defaults to ``"vectorized"``; ``"auto"`` picks the fastest
+    available registered backend; every backend samples bit-for-bit
+    identical RR sets, so this knob only changes speed)."""
 
     def nsg_ndg_samples(self) -> int:
         """Sample size for NSG/NDG: the largest batch HATP may generate."""

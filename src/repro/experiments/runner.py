@@ -294,7 +294,7 @@ def evaluate_nonadaptive(
         or (isinstance(r, Realization) and r.graph is instance.graph)
         for r in items
     )
-    batched_replay = resolve_mc_backend(mc_backend) == "vectorized" and eager
+    batched_replay = resolve_mc_backend(mc_backend) != "python" and eager
     pool_jobs = eval_pool.n_jobs if eval_pool is not None else (resolved or 1)
     if batched_replay:
         replay_spreads = batch_realization_spreads(
@@ -530,6 +530,7 @@ def _make_hatp(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
         max_samples_per_round=engine.max_samples_per_round,
         random_state=rng,
         n_jobs=n_jobs,
+        backend=engine.backend,
     )
 
 
@@ -548,6 +549,7 @@ def _make_addatp(
         max_samples_per_round=engine.addatp_max_samples_per_round,
         random_state=rng,
         n_jobs=n_jobs,
+        backend=engine.backend,
     )
 
 
@@ -562,6 +564,7 @@ def _make_hntp(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
         max_samples_per_round=engine.max_samples_per_round,
         random_state=rng,
         n_jobs=n_jobs,
+        backend=engine.backend,
     )
 
 
@@ -571,6 +574,7 @@ def _make_nsg(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
         num_samples=engine.nsg_ndg_samples(),
         random_state=rng,
         n_jobs=n_jobs,
+        backend=engine.backend,
     )
 
 
@@ -580,6 +584,7 @@ def _make_ndg(engine: EngineParameters, n_jobs: Optional[int], inst, rng):
         num_samples=engine.nsg_ndg_samples(),
         random_state=rng,
         n_jobs=n_jobs,
+        backend=engine.backend,
     )
 
 

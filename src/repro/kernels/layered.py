@@ -1,0 +1,374 @@
+"""Shared per-layer orchestration for compiled kernel backends.
+
+The compiled backends (numba, native/cffi) replace the *per-layer array
+work* of the NumPy engines — CSR gather, residual filter, coin-flip
+application, hash-set dedup, frontier construction — with machine code,
+while the bulk RNG draws stay in NumPy.  The drivers here run that
+ping-pong so the stream contract is structurally identical to the
+``"vectorized"`` reference:
+
+1. a compiled ``count_live`` walks the frontier's CSR slices in frontier
+   order and counts the edges whose endpoint is active (the residual
+   filter *before* any coin is flipped);
+2. Python draws the layer's coins with exactly one ``rng.random(L)``
+   call over the ``L`` surviving edges — the same call, on the same
+   generator, with the same ``L`` as the reference, so generator
+   end-state continuity holds for callers that share one generator
+   across successive batches;
+3. a compiled ``sweep`` re-walks the same slices in the same order,
+   applies the strict ``flip < prob`` test to each live edge (the coin
+   cursor advances only on live edges, so the flip/edge pairing equals
+   the reference's gather-then-flip) and an insert-if-absent hash-set
+   walk in edge order, which reproduces the reference's two-stage dedup
+   (drop pairs seen in earlier layers, then keep first occurrences
+   within the layer) pair for pair.
+
+Batches are assembled by a compiled stable counting sort
+(``group_pairs``) whose output equals the reference's stable
+``argsort`` + ``bincount`` grouping element for element.
+
+A backend plugs in by providing a *kernel set* — an object with the
+compiled primitives (see :class:`KernelSetProtocol` below for the
+informal contract) — and reusing :func:`generate_layered`,
+:func:`simulate_layered` and :func:`replay_layered` as its registry
+entry points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.residual import ResidualGraph
+from repro.kernels.registry import KernelCapabilities, PreparedCSR, prepare_csr
+
+#: Informal contract of a compiled kernel set (duck-typed, not enforced):
+#:
+#: ``degree_sum(frontier_nodes, offsets) -> total``
+#:     Sum of CSR out-degrees over the frontier (sizes the replay round).
+#: ``count_live(frontier_nodes, offsets, nodes, active) -> L``
+#:     Number of live (active-endpoint) edges out of the frontier —
+#:     sizes the layer's single bulk coin draw without materialising
+#:     the edge list.
+#: ``sweep(frontier_ids, frontier_nodes, offsets, nodes, probs, active,
+#:         flips, n, table, next_ids, next_src) -> K``
+#:     Fused gather+advance: walk the frontier's CSR slices in order,
+#:     apply ``flips[c] < prob`` to live edges (the coin cursor ``c``
+#:     advances only on live edges, matching the reference's
+#:     gather-then-flip pairing), insert ``id*n + src`` into the
+#:     open-addressing ``table`` if absent, append survivors.
+#: ``sweep_full(frontier_ids, frontier_nodes, offsets, nodes, probs,
+#:              flips, n, table, next_ids, next_src) -> K``
+#:     ``sweep`` specialised for fully-active views: every edge is live,
+#:     so the mask is never read and the coin cursor tracks the edge
+#:     cursor.
+#: ``insert_keys(keys, table)``
+#:     Seed the table with (distinct) keys.
+#: ``rehash(old_table, new_table)``
+#:     Re-insert every member key of ``old_table`` into ``new_table``.
+#: ``replay_advance(frontier_ids, frontier_nodes, offsets, targets,
+#:                  active, live, m, n, table, next_ids, next_nodes) -> K``
+#:     Fused gather+advance for deterministic live-edge replay.
+#: ``group_pairs(ids, nodes, count) -> (offsets, grouped_nodes)``
+#:     Stable counting sort of ``(id, node)`` pairs by id.
+#:
+#: A kernel set may additionally provide ``bind(csr, active, rng)``
+#: returning a sweep-scoped kernel set with the same contract; the
+#: drivers call it once per sweep so FFI-style backends can
+#: pre-translate the pointers of the arrays that never change between
+#: layers.  A bound set that reports ``supports_inline_rng`` must offer
+#: ``sweep_rng(frontier_ids, frontier_nodes, n, table, next_ids,
+#: next_src)`` and ``sweep_rng_full(...)``: sweeps that draw each coin
+#: directly from the generator's C ``next_double`` entry point (the
+#: function NumPy's bulk ``Generator.random`` loops over), once per
+#: live edge in frontier-then-edge order — the identical stream, with
+#: no count pass and no coin array.
+KernelSetProtocol = object
+
+
+def _bound(kernels, csr: PreparedCSR, active: np.ndarray, rng=None):
+    """The sweep-scoped kernel set (``bind`` hook, identity otherwise)."""
+    bind = getattr(kernels, "bind", None)
+    return kernels if bind is None else bind(csr, active, rng)
+
+
+def _as_uint8_mask(mask: np.ndarray) -> np.ndarray:
+    """A boolean mask as a C-contiguous uint8 array (zero-copy if possible)."""
+    mask = np.ascontiguousarray(mask)
+    if mask.dtype == np.bool_:
+        return mask.view(np.uint8)
+    return mask.astype(np.uint8)
+
+
+class _HashSet:
+    """Open-addressing int64 key set driven by compiled probe loops.
+
+    The table is a power-of-two int64 array with ``-1`` as the empty
+    slot (valid keys ``id*n + node`` are always >= 0); occupancy is
+    tracked here and the load factor is kept strictly below one half by
+    :meth:`reserve` (growth rehashes through the backend's compiled
+    ``rehash``).
+    """
+
+    __slots__ = ("kernels", "table", "size")
+
+    def __init__(self, kernels, expected: int) -> None:
+        self.kernels = kernels
+        self.table = np.full(_capacity_for(expected), -1, dtype=np.int64)
+        self.size = 0
+
+    def reserve(self, incoming: int) -> None:
+        needed = _capacity_for(self.size + incoming)
+        if needed > self.table.shape[0]:
+            grown = np.full(needed, -1, dtype=np.int64)
+            self.kernels.rehash(self.table, grown)
+            self.table = grown
+
+    def insert_distinct(self, keys: np.ndarray) -> None:
+        self.reserve(keys.shape[0])
+        self.kernels.insert_keys(keys, self.table)
+        self.size += int(keys.shape[0])
+
+
+def _capacity_for(entries: int) -> int:
+    capacity = 16
+    while capacity < 2 * (entries + 1):
+        capacity <<= 1
+    return capacity
+
+
+def _finalize(
+    kernels,
+    layer_ids: List[np.ndarray],
+    layer_nodes: List[np.ndarray],
+    count: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group discovered pairs into flat ``(offsets, nodes)`` form.
+
+    A stable counting sort by id — identical output to the reference's
+    stable ``argsort`` + ``bincount`` assembly.
+    """
+    all_ids = np.concatenate(layer_ids)
+    all_nodes = np.concatenate(layer_nodes)
+    return kernels.group_pairs(all_ids, all_nodes, count)
+
+
+def _coin_sweep(
+    kernels,
+    csr: PreparedCSR,
+    active: np.ndarray,
+    frontier_ids: np.ndarray,
+    frontier_nodes: np.ndarray,
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+    fully_active: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The shared coin-flip frontier loop of generate and simulate.
+
+    Reverse BFS (RR generation) and forward IC simulation differ only in
+    which CSR they walk and how the initial frontier is built; the layer
+    loop — and therefore the RNG contract — is one piece of code.
+
+    ``fully_active`` declares that every node passes the residual mask,
+    in which case the live-edge count equals the frontier's degree sum —
+    an offsets-only read that skips one full CSR walk per layer.
+    """
+    kernels = _bound(kernels, csr, active, rng)
+    # FFI-style kernel sets can draw coins straight from the generator's
+    # C next_double entry point — the count pass and the flips array
+    # disappear while the consumed stream stays the reference's.
+    inline_rng = getattr(kernels, "supports_inline_rng", False)
+    layer_ids = [frontier_ids]
+    layer_nodes = [frontier_nodes]
+    table = _HashSet(kernels, frontier_ids.shape[0])
+    if frontier_ids.size:
+        table.insert_distinct(frontier_ids * n + frontier_nodes)
+
+    while frontier_nodes.size:
+        if inline_rng:
+            # Buffers are sized by the degree sum (an offsets-only read,
+            # >= the live-edge count); the sweep itself draws one coin
+            # per live edge in frontier-then-edge order — exactly the
+            # positions the bulk-draw path would read.
+            capacity = int(kernels.degree_sum(frontier_nodes, csr.offsets))
+            if capacity == 0:
+                break
+            table.reserve(capacity)
+            next_ids = np.empty(capacity, dtype=np.int64)
+            next_src = np.empty(capacity, dtype=np.int64)
+            if fully_active:
+                survivors = int(
+                    kernels.sweep_rng_full(
+                        frontier_ids, frontier_nodes, n, table.table, next_ids, next_src
+                    )
+                )
+            else:
+                survivors = int(
+                    kernels.sweep_rng(
+                        frontier_ids, frontier_nodes, n, table.table, next_ids, next_src
+                    )
+                )
+            table.size += survivors
+            if survivors == 0:
+                break
+            frontier_ids = next_ids[:survivors]
+            frontier_nodes = next_src[:survivors]
+            layer_ids.append(frontier_ids)
+            layer_nodes.append(frontier_nodes)
+            continue
+        if fully_active:
+            live_edges = int(kernels.degree_sum(frontier_nodes, csr.offsets))
+        else:
+            live_edges = int(
+                kernels.count_live(frontier_nodes, csr.offsets, csr.nodes, active)
+            )
+        if live_edges == 0:
+            break
+        # The layer's single bulk draw — same call, same L, same stream
+        # as the vectorized reference.
+        flips = rng.random(live_edges)
+        table.reserve(live_edges)
+        next_ids = np.empty(live_edges, dtype=np.int64)
+        next_src = np.empty(live_edges, dtype=np.int64)
+        if fully_active:
+            survivors = int(
+                kernels.sweep_full(
+                    frontier_ids,
+                    frontier_nodes,
+                    csr.offsets,
+                    csr.nodes,
+                    csr.probs,
+                    flips,
+                    n,
+                    table.table,
+                    next_ids,
+                    next_src,
+                )
+            )
+        else:
+            survivors = int(
+                kernels.sweep(
+                    frontier_ids,
+                    frontier_nodes,
+                    csr.offsets,
+                    csr.nodes,
+                    csr.probs,
+                    active,
+                    flips,
+                    n,
+                    table.table,
+                    next_ids,
+                    next_src,
+                )
+            )
+        table.size += survivors
+        if survivors == 0:
+            break
+        # Slice views, not copies: the buffers are layer-fresh, so the
+        # next round never overwrites them.
+        frontier_ids = next_ids[:survivors]
+        frontier_nodes = next_src[:survivors]
+        layer_ids.append(frontier_ids)
+        layer_nodes.append(frontier_nodes)
+
+    return _finalize(kernels, layer_ids, layer_nodes, count)
+
+
+def generate_layered(view: ResidualGraph, roots: np.ndarray, rng, kernels):
+    """Compiled-backend RR-batch generation (reverse BFS over in-CSR)."""
+    from repro.sampling.engine import RRBatch
+
+    base = view.base
+    n = base.n
+    csr = prepare_csr(*base.in_csr(), capabilities=kernels.capabilities)
+    active = _as_uint8_mask(view.active_mask)
+    count = roots.shape[0]
+
+    live = view.active_mask[roots]
+    frontier_ids = np.arange(count, dtype=np.int64)[live]
+    frontier_nodes = roots[live].astype(np.int64, copy=False)
+    offsets, nodes = _coin_sweep(
+        kernels, csr, active, frontier_ids, frontier_nodes, n, count, rng,
+        fully_active=view.num_active == n,
+    )
+    return RRBatch(
+        offsets=offsets,
+        nodes=nodes,
+        num_active_nodes=view.num_active,
+        n=n,
+    )
+
+
+def simulate_layered(view: ResidualGraph, seeds: np.ndarray, count: int, rng, kernels):
+    """Compiled-backend forward IC simulation (out-CSR, shared seeds)."""
+    from repro.diffusion.mc_engine import MCBatch
+
+    base = view.base
+    n = base.n
+    csr = prepare_csr(*base.out_csr(), capabilities=kernels.capabilities)
+    active = _as_uint8_mask(view.active_mask)
+
+    frontier_ids = np.repeat(np.arange(count, dtype=np.int64), seeds.size)
+    frontier_nodes = np.tile(seeds, count)
+    offsets, nodes = _coin_sweep(
+        kernels, csr, active, frontier_ids, frontier_nodes, n, count, rng,
+        fully_active=view.num_active == n,
+    )
+    return MCBatch(offsets=offsets, nodes=nodes, n=n)
+
+
+def replay_layered(view: ResidualGraph, seeds: np.ndarray, live: np.ndarray, kernels):
+    """Compiled-backend deterministic live-edge replay (no randomness)."""
+    from repro.diffusion.mc_engine import MCBatch
+
+    base = view.base
+    n = base.n
+    m = base.m
+    count = int(live.shape[0])
+    csr = prepare_csr(*base.out_csr(), capabilities=kernels.capabilities)
+    active = _as_uint8_mask(view.active_mask)
+    live_u8 = _as_uint8_mask(live)
+
+    frontier_ids = np.repeat(np.arange(count, dtype=np.int64), seeds.size)
+    frontier_nodes = np.tile(seeds, count)
+    kernels = _bound(kernels, csr, active)
+    layer_ids = [frontier_ids]
+    layer_nodes = [frontier_nodes]
+    table = _HashSet(kernels, frontier_ids.shape[0])
+    if frontier_ids.size:
+        table.insert_distinct(frontier_ids * n + frontier_nodes)
+
+    while frontier_nodes.size:
+        total = int(kernels.degree_sum(frontier_nodes, csr.offsets))
+        if total == 0:
+            break
+        table.reserve(total)
+        next_ids = np.empty(total, dtype=np.int64)
+        next_nodes = np.empty(total, dtype=np.int64)
+        survivors = int(
+            kernels.replay_advance(
+                frontier_ids,
+                frontier_nodes,
+                csr.offsets,
+                csr.nodes,
+                active,
+                live_u8,
+                m,
+                n,
+                table.table,
+                next_ids,
+                next_nodes,
+            )
+        )
+        table.size += survivors
+        if survivors == 0:
+            break
+        frontier_ids = next_ids[:survivors]
+        frontier_nodes = next_nodes[:survivors]
+        layer_ids.append(frontier_ids)
+        layer_nodes.append(frontier_nodes)
+
+    offsets, nodes = _finalize(kernels, layer_ids, layer_nodes, count)
+    return MCBatch(offsets=offsets, nodes=nodes, n=n)

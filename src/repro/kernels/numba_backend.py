@@ -1,0 +1,261 @@
+"""The ``"numba"`` backend: ``@njit``-compiled per-layer kernels.
+
+Importing this module requires numba (the ``repro[fast]`` extra); the
+registry gates the import behind a probe so the base install never pays
+for it and ``"auto"`` silently falls back when numba is absent.
+
+The kernels mirror :mod:`repro.kernels.native_backend` one-for-one and
+plug into the same layered driver: bulk RNG draws stay in NumPy, the
+compiled code does the residual-filtered live-edge count, the fused
+coin-flip sweep (strict ``flip < prob`` with open-addressing
+insert-if-absent dedup), fused live-edge replay, and the stable
+counting sort — so the output is bit-for-bit identical to
+``"vectorized"``.  Numba's dispatch
+specializes each kernel per argument dtype, which covers both int64
+in-RAM CSR arrays and mmap'd ``uint32`` ``.rgx`` arrays without
+separate entry points; :meth:`NumbaKernels.warm_up` pre-compiles both
+specializations once per process (pool workers warm up through the
+registry memo, once per worker rather than per shard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.kernels import layered
+from repro.kernels.registry import KernelBackend, KernelCapabilities
+
+CAPABILITIES = KernelCapabilities(uint32_csr=True, residual_masks=True, compiled=True)
+
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+@njit(cache=True, nogil=True)
+def _slot(key, mask):
+    h = np.uint64(key) * _MIX
+    return (h ^ (h >> np.uint64(32))) & mask
+
+
+@njit(cache=True, nogil=True)
+def _insert(table, mask, key):
+    slot = _slot(key, mask)
+    while True:
+        cur = table[slot]
+        if cur == key:
+            return False
+        if cur == -1:
+            table[slot] = key
+            return True
+        slot = (slot + np.uint64(1)) & mask
+
+
+@njit(cache=True, nogil=True)
+def _degree_sum(fnodes, offsets):
+    total = np.int64(0)
+    for f in range(fnodes.shape[0]):
+        node = fnodes[f]
+        total += offsets[node + 1] - offsets[node]
+    return total
+
+
+@njit(cache=True, nogil=True)
+def _count_live(fnodes, offsets, nodes, active):
+    live_edges = np.int64(0)
+    for f in range(fnodes.shape[0]):
+        node = fnodes[f]
+        for e in range(offsets[node], offsets[node + 1]):
+            live_edges += active[np.int64(nodes[e])]
+    return live_edges
+
+
+@njit(cache=True, nogil=True)
+def _sweep(fids, fnodes, offsets, nodes, probs, active, flips, n, table, next_ids, next_src):
+    mask = np.uint64(table.shape[0] - 1)
+    survivors = 0
+    coin = 0
+    for f in range(fids.shape[0]):
+        rr = fids[f]
+        node = fnodes[f]
+        for e in range(offsets[node], offsets[node + 1]):
+            s = np.int64(nodes[e])
+            if active[s]:
+                if flips[coin] < probs[e]:
+                    key = rr * n + s
+                    if _insert(table, mask, key):
+                        next_ids[survivors] = rr
+                        next_src[survivors] = s
+                        survivors += 1
+                coin += 1
+    return survivors
+
+
+@njit(cache=True, nogil=True)
+def _sweep_full(fids, fnodes, offsets, nodes, probs, flips, n, table, next_ids, next_src):
+    mask = np.uint64(table.shape[0] - 1)
+    survivors = 0
+    coin = 0
+    for f in range(fids.shape[0]):
+        rr = fids[f]
+        node = fnodes[f]
+        for e in range(offsets[node], offsets[node + 1]):
+            if flips[coin] < probs[e]:
+                s = np.int64(nodes[e])
+                key = rr * n + s
+                if _insert(table, mask, key):
+                    next_ids[survivors] = rr
+                    next_src[survivors] = s
+                    survivors += 1
+            coin += 1
+    return survivors
+
+
+@njit(cache=True, nogil=True)
+def _insert_keys(keys, table):
+    mask = np.uint64(table.shape[0] - 1)
+    for i in range(keys.shape[0]):
+        _insert(table, mask, keys[i])
+
+
+@njit(cache=True, nogil=True)
+def _rehash(old_table, new_table):
+    mask = np.uint64(new_table.shape[0] - 1)
+    for i in range(old_table.shape[0]):
+        key = old_table[i]
+        if key != -1:
+            _insert(new_table, mask, key)
+
+
+@njit(cache=True, nogil=True)
+def _replay_advance(
+    fids, fnodes, offsets, targets, active, live, m, n, table, next_ids, next_nodes
+):
+    mask = np.uint64(table.shape[0] - 1)
+    survivors = 0
+    for f in range(fids.shape[0]):
+        sim = fids[f]
+        node = fnodes[f]
+        row = sim * m
+        for e in range(offsets[node], offsets[node + 1]):
+            t = np.int64(targets[e])
+            if active[t] and live[row + e]:
+                key = sim * n + t
+                if _insert(table, mask, key):
+                    next_ids[survivors] = sim
+                    next_nodes[survivors] = t
+                    survivors += 1
+    return survivors
+
+
+@njit(cache=True, nogil=True)
+def _group_pairs(ids, nodes, count, offsets, out_nodes, cursor):
+    for i in range(ids.shape[0]):
+        offsets[ids[i] + 1] += 1
+    for c in range(count):
+        offsets[c + 1] += offsets[c]
+    for c in range(count):
+        cursor[c] = offsets[c]
+    for i in range(ids.shape[0]):
+        rr = ids[i]
+        out_nodes[cursor[rr]] = nodes[i]
+        cursor[rr] += 1
+
+
+class NumbaKernels:
+    """The jitted primitive set the layered driver drives."""
+
+    capabilities = CAPABILITIES
+
+    @staticmethod
+    def degree_sum(fnodes, offsets):
+        return _degree_sum(fnodes, offsets)
+
+    @staticmethod
+    def count_live(fnodes, offsets, nodes, active):
+        return _count_live(fnodes, offsets, nodes, active)
+
+    @staticmethod
+    def sweep(fids, fnodes, offsets, nodes, probs, active, flips, n, table, next_ids, next_src):
+        return _sweep(
+            fids, fnodes, offsets, nodes, probs, active, flips, n, table, next_ids, next_src
+        )
+
+    @staticmethod
+    def sweep_full(fids, fnodes, offsets, nodes, probs, flips, n, table, next_ids, next_src):
+        return _sweep_full(
+            fids, fnodes, offsets, nodes, probs, flips, n, table, next_ids, next_src
+        )
+
+    @staticmethod
+    def insert_keys(keys, table):
+        _insert_keys(keys, table)
+
+    @staticmethod
+    def rehash(old_table, new_table):
+        _rehash(old_table, new_table)
+
+    @staticmethod
+    def replay_advance(
+        fids, fnodes, offsets, targets, active, live, m, n, table, next_ids, next_nodes
+    ):
+        return _replay_advance(
+            fids,
+            fnodes,
+            offsets,
+            targets,
+            active,
+            live.reshape(-1),
+            m,
+            n,
+            table,
+            next_ids,
+            next_nodes,
+        )
+
+    @staticmethod
+    def group_pairs(ids, nodes, count):
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        out_nodes = np.empty(ids.shape[0], dtype=np.int64)
+        cursor = np.empty(max(count, 1), dtype=np.int64)
+        _group_pairs(ids, nodes, count, offsets, out_nodes, cursor)
+        return offsets, out_nodes
+
+
+def warm_up() -> None:
+    """Pre-compile every kernel for both node-array dtypes (i64 + u32)."""
+    i64 = np.zeros(1, dtype=np.int64)
+    f64 = np.zeros(1, dtype=np.float64)
+    u8 = np.ones(2, dtype=np.uint8)
+    offsets = np.zeros(3, dtype=np.int64)
+    table = np.full(16, -1, dtype=np.int64)
+    for node_dtype in (np.int64, np.uint32):
+        nodes = np.zeros(1, dtype=node_dtype)
+        _count_live(i64, offsets, nodes, u8)
+        _sweep(i64, i64, offsets, nodes, f64, u8, f64, 2, table, i64.copy(), i64.copy())
+        _sweep_full(i64, i64, offsets, nodes, f64, f64, 2, table, i64.copy(), i64.copy())
+        _replay_advance(
+            i64, i64, offsets, nodes, u8, u8, 1, 2, table, i64.copy(), i64.copy()
+        )
+    _degree_sum(i64, offsets)
+    _insert_keys(i64, table.copy())
+    _rehash(table, table.copy())
+    NumbaKernels.group_pairs(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 1)
+
+
+def load() -> KernelBackend:
+    """Registry loader: wire the jitted kernel set into the layered driver."""
+    kernels = NumbaKernels()
+    return KernelBackend(
+        name="numba",
+        capabilities=CAPABILITIES,
+        generate_batch=lambda view, roots, rng: layered.generate_layered(
+            view, roots, rng, kernels
+        ),
+        simulate_batch=lambda view, seeds, count, rng: layered.simulate_layered(
+            view, seeds, count, rng, kernels
+        ),
+        replay_batch=lambda view, seeds, live: layered.replay_layered(
+            view, seeds, live, kernels
+        ),
+        warm_up=warm_up,
+    )

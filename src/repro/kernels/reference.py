@@ -1,0 +1,57 @@
+"""Registry wrappers for the historical NumPy / pure-Python kernels.
+
+``"vectorized"`` is the NumPy frontier-at-a-time engine — the executable
+reference every other backend must match bit-for-bit.  ``"python"`` is
+the deliberately naive loop-based specification of the RNG contract.
+Both live in :mod:`repro.sampling.engine` / :mod:`repro.diffusion.
+mc_engine`; this module only adapts them to the registry's kernel-triple
+interface (imported lazily — the engines import the registry at module
+load, so the reverse import happens strictly at call time).
+
+Live-edge replay is deterministic (no coins), so both names share the
+vectorized replay implementation: a ``backend="python"`` replay request
+is simply the same sweep.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.registry import KernelBackend, KernelCapabilities
+
+VECTORIZED_CAPABILITIES = KernelCapabilities(
+    uint32_csr=True, residual_masks=True, compiled=False
+)
+PYTHON_CAPABILITIES = KernelCapabilities(
+    uint32_csr=True, residual_masks=True, compiled=False
+)
+
+
+def _replay_vectorized(view, seeds, live):
+    from repro.diffusion import mc_engine
+
+    return mc_engine._replay_batch_vectorized(view, seeds, live)
+
+
+def load_vectorized() -> KernelBackend:
+    from repro.diffusion import mc_engine
+    from repro.sampling import engine
+
+    return KernelBackend(
+        name="vectorized",
+        capabilities=VECTORIZED_CAPABILITIES,
+        generate_batch=engine._generate_batch_vectorized,
+        simulate_batch=mc_engine._simulate_batch_vectorized,
+        replay_batch=_replay_vectorized,
+    )
+
+
+def load_python() -> KernelBackend:
+    from repro.diffusion import mc_engine
+    from repro.sampling import engine
+
+    return KernelBackend(
+        name="python",
+        capabilities=PYTHON_CAPABILITIES,
+        generate_batch=engine._generate_batch_python,
+        simulate_batch=mc_engine._simulate_batch_python,
+        replay_batch=_replay_vectorized,
+    )

@@ -1,0 +1,305 @@
+"""The kernel registry: named backends for the three hot kernels.
+
+Every compute backend of the library registers a
+:class:`KernelBackend` — a ``(generate_batch, simulate_batch,
+replay_batch)`` triple under a name — and every caller reaches an
+implementation exclusively through :func:`resolve_backend` +
+:func:`get_backend`.  That indirection is what makes new backends
+(numba, the cffi/C ``"native"`` backend, a future CuPy path) drop-in:
+``sampling/engine.py``, ``diffusion/mc_engine.py``, the pools and the
+service never name an implementation directly.
+
+Contracts
+---------
+* **Determinism** — every registered backend consumes the *identical*
+  RNG coin stream as the ``"vectorized"`` reference (bulk ``rng.random``
+  draws per frontier layer, residual filter before the flips) and
+  produces bit-for-bit identical batches.  ``resolve_backend("auto")``
+  may therefore pick any available backend without perturbing results.
+* **Defaults** — ``backend=None`` resolves through the ``REPRO_BACKEND``
+  environment variable and falls back to ``"vectorized"`` (the MC entry
+  points resolve through ``REPRO_MC_BACKEND`` with default ``"python"``,
+  their historical sequential loop); no knobs set keeps every historical
+  RNG stream bit-for-bit.
+* **Optionality** — compiled backends are optional extras.  An
+  unavailable backend stays *registered* (so error messages can name
+  it) but :func:`get_backend` raises an actionable
+  :class:`~repro.utils.exceptions.ValidationError`, and ``"auto"``
+  silently falls back to the fastest backend that is importable.
+
+Capability flags (:class:`KernelCapabilities`) describe what a backend
+can consume: ``uint32_csr`` backends read the mmap'd ``uint32`` node
+arrays of ``.rgx`` graphs in place, others receive an int64 copy from
+:func:`prepare_csr` — the single place the uint32→int64 cast lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.env import read_env
+from repro.utils.exceptions import ValidationError
+
+#: Environment variable consulted when a caller leaves ``backend`` unset.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: The resolve-time wildcard: pick the fastest available backend.
+AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class KernelCapabilities:
+    """What a kernel backend can consume / guarantee.
+
+    ``uint32_csr``
+        The kernels read ``uint32`` node arrays (mmap'd ``.rgx`` CSR)
+        directly; when ``False``, :func:`prepare_csr` hands the backend
+        an int64 copy instead.
+    ``residual_masks``
+        The kernels honour residual ``active`` masks (every shipped
+        backend does; the flag exists so a future restricted backend can
+        be skipped by ``"auto"`` resolution on residual views).
+    ``compiled``
+        The backend runs machine code rather than NumPy/Python and
+        benefits from a one-off :func:`warm_up` per process.
+    """
+
+    uint32_csr: bool = False
+    residual_masks: bool = True
+    compiled: bool = False
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A loaded backend: the three kernel entry points plus metadata.
+
+    ``generate_batch(view, roots, rng)`` grows one RR batch (reverse
+    BFS), ``simulate_batch(view, seeds, count, rng)`` runs forward IC
+    cascades, ``replay_batch(view, seeds, live)`` replays precomputed
+    live-edge worlds deterministically.  All three receive pre-validated
+    arguments from their entry points in :mod:`repro.sampling.engine` /
+    :mod:`repro.diffusion.mc_engine`.
+    """
+
+    name: str
+    capabilities: KernelCapabilities
+    generate_batch: Callable
+    simulate_batch: Callable
+    replay_batch: Callable
+    warm_up: Callable[[], None] = field(default=lambda: None)
+
+
+class _Registration:
+    """Lazy registry slot: the backend module loads on first use."""
+
+    __slots__ = ("name", "capabilities", "priority", "loader", "probe", "_backend")
+
+    def __init__(self, name, capabilities, priority, loader, probe):
+        self.name = name
+        self.capabilities = capabilities
+        self.priority = priority
+        self.loader = loader
+        self.probe = probe
+        self._backend: Optional[KernelBackend] = None
+
+    def unavailable_reason(self) -> Optional[str]:
+        if self._backend is not None:
+            return None
+        if self.probe is None:
+            return None
+        return self.probe()
+
+    def load(self) -> KernelBackend:
+        if self._backend is None:
+            self._backend = self.loader()
+        return self._backend
+
+
+_REGISTRY: Dict[str, _Registration] = {}
+
+#: Names whose :func:`warm_up` already ran in this process (the once-
+#: per-worker memo: pool shards call ``warm_up`` per task, compile once).
+_WARMED: set = set()
+
+
+def register_backend(
+    name: str,
+    loader: Callable[[], KernelBackend],
+    capabilities: KernelCapabilities,
+    priority: int = 0,
+    probe: Optional[Callable[[], Optional[str]]] = None,
+) -> None:
+    """Register ``loader`` under ``name`` (idempotent re-registration).
+
+    ``priority`` orders ``"auto"`` resolution (higher wins among
+    available backends).  ``probe`` returns ``None`` when the backend
+    can load, else a human-readable reason (shown by the error an
+    explicit request for an unavailable backend raises).
+    """
+    key = str(name).strip().lower()
+    _REGISTRY[key] = _Registration(key, capabilities, int(priority), loader, probe)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose probe reports them loadable."""
+    return tuple(
+        name
+        for name, reg in _REGISTRY.items()
+        if reg.unavailable_reason() is None
+    )
+
+
+def backend_priority(name: str) -> int:
+    """The ``"auto"``-resolution priority of a registered backend."""
+    return _registration(name).priority
+
+
+def backend_capabilities(name: str) -> KernelCapabilities:
+    """The declared capabilities of a registered backend (no load)."""
+    return _registration(name).capabilities
+
+
+def _choices() -> str:
+    return ", ".join(list(_REGISTRY) + [AUTO])
+
+
+def _registration(name: str) -> _Registration:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered backends: {_choices()}"
+        ) from None
+
+
+def resolve_backend(
+    backend: Optional[str] = None,
+    env_var: str = BACKEND_ENV_VAR,
+    default: str = "vectorized",
+) -> str:
+    """Resolve a backend request to a concrete registered name.
+
+    * an explicit value wins; ``None`` falls back to ``env_var``
+      (``REPRO_BACKEND`` for the sampling/kernel knob,
+      ``REPRO_MC_BACKEND`` for the Monte-Carlo strategy knob), then to
+      ``default`` — so defaults keep the exact historical streams;
+    * ``"auto"`` picks the highest-priority *available* backend (all
+      backends are bit-for-bit identical, so this is stream-safe);
+    * an unknown name raises the shared error listing every registered
+      backend; a known-but-unavailable name raises the probe's reason
+      (e.g. how to install the ``[fast]`` extra).
+    """
+    source = None
+    if backend is None:
+        backend = read_env(env_var)
+        if backend is None:
+            backend = default
+        else:
+            source = env_var
+    name = str(backend).strip().lower()
+    if name == AUTO:
+        ranked = sorted(
+            (reg for reg in _REGISTRY.values() if reg.unavailable_reason() is None),
+            key=lambda reg: reg.priority,
+            reverse=True,
+        )
+        if not ranked:
+            raise ValidationError(
+                "no kernel backend is available (registry is empty)"
+            )
+        return ranked[0].name
+    if name not in _REGISTRY:
+        origin = f" (from {source})" if source else ""
+        raise ValidationError(
+            f"unknown backend {backend!r}{origin}; "
+            f"registered backends: {_choices()}"
+        )
+    reason = _REGISTRY[name].unavailable_reason()
+    if reason is not None:
+        origin = f" (from {source})" if source else ""
+        raise ValidationError(
+            f"backend {name!r}{origin} is registered but not available: "
+            f"{reason}; use backend='auto' to pick the fastest available "
+            f"backend automatically"
+        )
+    return name
+
+
+def get_backend(backend: Optional[str] = None, **resolve_kwargs) -> KernelBackend:
+    """Load the backend ``resolve_backend`` picks for ``backend``."""
+    name = resolve_backend(backend, **resolve_kwargs)
+    return _registration(name).load()
+
+
+def warm_up(backend: str) -> None:
+    """Run a backend's one-off per-process warm-up exactly once.
+
+    Compiled backends pay their JIT/dlopen cost here; pool workers call
+    this per task but the memo makes every call after the first a set
+    lookup — warm-up happens once per worker, not once per shard.
+    """
+    name = resolve_backend(backend)
+    if name in _WARMED:
+        return
+    _registration(name).load().warm_up()
+    _WARMED.add(name)
+
+
+# --------------------------------------------------------------------- #
+# CSR preparation (the single home of the uint32 -> int64 cast)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PreparedCSR:
+    """A CSR triple prepared for one backend's capabilities.
+
+    ``offsets`` is always int64; ``nodes`` keeps its storage dtype
+    (mmap'd ``uint32`` for ``.rgx`` graphs) when the backend declared
+    ``uint32_csr`` support, and is an int64 copy otherwise.  Gathered
+    node-id slices go through :meth:`gather` — the one place the
+    uint32→int64 upcast happens, so every backend (and future ones)
+    inherits it instead of scattering ``.astype`` calls.
+    """
+
+    offsets: np.ndarray
+    nodes: np.ndarray
+    probs: np.ndarray
+
+    def gather(self, edge_idx: np.ndarray) -> np.ndarray:
+        """Node ids at ``edge_idx`` as int64 (no copy when already int64)."""
+        return self.nodes[edge_idx].astype(np.int64, copy=False)
+
+
+def prepare_csr(
+    offsets: np.ndarray,
+    nodes: np.ndarray,
+    probs: np.ndarray,
+    capabilities: Optional[KernelCapabilities] = None,
+) -> PreparedCSR:
+    """Adapt a raw CSR triple to what ``capabilities`` can consume.
+
+    Backends that cannot read ``uint32`` node arrays (none of the
+    shipped ones — the flag exists for future backends and for tests)
+    receive an int64 copy upfront; everyone else reads the storage
+    arrays in place and upcasts per-gather through
+    :meth:`PreparedCSR.gather`.
+    """
+    offsets = np.asarray(offsets)
+    if offsets.dtype != np.int64:
+        offsets = offsets.astype(np.int64)
+    nodes = np.asarray(nodes)
+    if capabilities is not None and not capabilities.uint32_csr:
+        nodes = nodes.astype(np.int64, copy=False)
+    probs = np.asarray(probs)
+    if probs.dtype != np.float64:
+        probs = probs.astype(np.float64)
+    return PreparedCSR(offsets=offsets, nodes=nodes, probs=probs)

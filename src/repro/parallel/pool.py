@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.parallel.broker import (
@@ -121,6 +122,7 @@ def _worker_init(spec: SharedGraphSpec) -> None:
 def _worker_generate(fault, count, random_state, backend, roots):
     """Run one shard through the standard engine against shared arrays."""
     perform_fault(fault)
+    kernels.warm_up(backend)  # compile once per worker, memoized thereafter
     view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
     batch = generate_rr_batch(
         view, count, random_state, backend=backend, roots=roots
@@ -131,6 +133,7 @@ def _worker_generate(fault, count, random_state, backend, roots):
 def _worker_simulate(fault, seeds, count, random_state, backend):
     """Run one forward-MC shard against the shared outgoing CSR."""
     perform_fault(fault)
+    kernels.warm_up(backend)  # compile once per worker, memoized thereafter
     view = SharedResidualView(_WORKER["graph"], _WORKER["mask"])
     batch = simulate_ic_batch(view, seeds, count, random_state, backend=backend)
     return batch.offsets, batch.nodes, batch.n
@@ -343,7 +346,7 @@ class SamplingPool:
         graph: ProbabilisticGraph | ResidualGraph,
         count: int,
         random_state: RandomState = None,
-        backend: str = "vectorized",
+        backend: Optional[str] = None,
         roots: Optional[Sequence[int]] = None,
         task_timeout: Optional[float] = None,
     ) -> RRBatch:
@@ -363,6 +366,10 @@ class SamplingPool:
         if self._closed:
             raise ValidationError("SamplingPool is closed")
         self._require_direction("in", "generate")
+        # Resolve once at pool entry so every shard payload carries a
+        # concrete registered backend name ("auto"/None never reaches a
+        # worker, whose environment may resolve them differently).
+        backend = kernels.resolve_backend(backend)
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         if view.base is not self._base:
             raise ValidationError(
@@ -464,7 +471,7 @@ class SamplingPool:
         seeds: Sequence[int],
         count: int,
         random_state: RandomState = None,
-        backend: str = "vectorized",
+        backend: Optional[str] = None,
         task_timeout: Optional[float] = None,
     ) -> MCBatch:
         """Run ``count`` forward IC cascades from ``seeds`` across the pool.
@@ -479,6 +486,7 @@ class SamplingPool:
         if self._closed:
             raise ValidationError("SamplingPool is closed")
         self._require_direction("out", "simulate")
+        backend = kernels.resolve_backend(backend)
         view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
         if view.base is not self._base:
             raise ValidationError(
@@ -549,7 +557,7 @@ def parallel_generate_rr_batch(
     graph: ProbabilisticGraph | ResidualGraph,
     count: int,
     random_state: RandomState = None,
-    backend: str = "vectorized",
+    backend: Optional[str] = None,
     n_jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
     roots: Optional[Sequence[int]] = None,
@@ -575,7 +583,7 @@ def parallel_simulate_ic_batch(
     seeds: Sequence[int],
     count: int,
     random_state: RandomState = None,
-    backend: str = "vectorized",
+    backend: Optional[str] = None,
     n_jobs: Optional[int] = None,
     shard_size: Optional[int] = None,
 ) -> MCBatch:

@@ -23,15 +23,19 @@ per-set Python objects.
 
 Backends
 --------
-``generate_rr_batch`` accepts ``backend="vectorized"`` (default) or
-``backend="python"``.  The Python backend is a deliberately simple
-loop-based reference implementation of *exactly the same algorithm*: it
-draws its roots with the same single bulk call and consumes the same
-coin-flip stream in the same frontier order, so for any shared seed the two
-backends produce bit-for-bit identical batches.  That property is what the
+``generate_rr_batch`` dispatches through the kernel registry
+(:mod:`repro.kernels`): ``backend=None`` (the default) honours the
+``REPRO_BACKEND`` environment variable and falls back to ``"vectorized"``;
+``"auto"`` picks the fastest available backend; explicit names
+(``"vectorized"``, ``"python"``, ``"numba"``, ``"native"``) select one
+implementation.  The Python backend is a deliberately simple loop-based
+reference implementation of *exactly the same algorithm*: it draws its
+roots with the same single bulk call and consumes the same coin-flip
+stream in the same frontier order, so for any shared seed every backend
+produces bit-for-bit identical batches.  That property is what the
 differential tests (``tests/sampling/test_engine_differential.py``) pin
 down; the reference backend is the executable specification of the engine's
-RNG contract.
+RNG contract, and it is why ``"auto"`` is stream-safe.
 
 The historical per-set path (:func:`repro.sampling.rr_sets.generate_rr_set`)
 remains available as well; it consumes the stream per set rather than per
@@ -45,12 +49,15 @@ from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import kernels
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph, as_residual
 from repro.utils.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
-#: Recognised values for the ``backend`` argument across the sampling API.
+#: The historical reference backend names (the full set of recognised
+#: values — including compiled backends — lives in the kernel registry;
+#: see :func:`repro.kernels.registered_backends`).
 BACKENDS = ("vectorized", "python")
 
 
@@ -200,7 +207,7 @@ def generate_rr_batch(
     graph: ProbabilisticGraph | ResidualGraph,
     count: int,
     random_state: RandomState = None,
-    backend: str = "vectorized",
+    backend: Optional[str] = None,
     roots: Optional[Sequence[int]] = None,
 ) -> RRBatch:
     """Generate ``count`` independent RR sets on ``graph`` as one flat batch.
@@ -212,10 +219,13 @@ def generate_rr_batch(
     count:
         Number of RR sets.
     random_state:
-        Seed / generator; both backends consume it identically.
+        Seed / generator; every backend consumes it identically.
     backend:
-        ``"vectorized"`` (NumPy frontier-at-a-time engine, default) or
-        ``"python"`` (loop-based reference with the same RNG contract).
+        Kernel backend name resolved through the registry
+        (:func:`repro.kernels.resolve_backend`): ``None`` honours
+        ``REPRO_BACKEND`` and defaults to ``"vectorized"``; ``"auto"``
+        picks the fastest available backend — every backend is
+        bit-for-bit identical, so the choice never changes the batch.
     roots:
         Optional fixed roots, one per RR set (inactive roots yield empty
         sets).  When omitted, roots are drawn uniformly from the active
@@ -223,10 +233,7 @@ def generate_rr_batch(
     """
     if count < 0:
         raise ValidationError(f"count must be >= 0, got {count}")
-    if backend not in BACKENDS:
-        raise ValidationError(
-            f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
-        )
+    spec = kernels.get_backend(backend)
     view = as_residual(graph) if isinstance(graph, ProbabilisticGraph) else graph
     num_active = view.num_active
     if count == 0:
@@ -235,9 +242,7 @@ def generate_rr_batch(
     root_array = _draw_roots(view, count, rng, roots)
     if root_array is None:
         return _empty_batch(count, num_active, view.n)
-    if backend == "python":
-        return _generate_batch_python(view, root_array, rng)
-    return _generate_batch_vectorized(view, root_array, rng)
+    return spec.generate_batch(view, root_array, rng)
 
 
 # --------------------------------------------------------------------- #
@@ -251,7 +256,12 @@ def _generate_batch_vectorized(
     base = view.base
     n = base.n
     active = view.active_mask
-    in_offsets, in_sources, in_probs = base.in_csr()
+    # prepare_csr centralizes the uint32 -> int64 handling of mmap'd
+    # ``.rgx`` node arrays: gathered slices upcast through ``csr.gather``.
+    csr = kernels.prepare_csr(
+        *base.in_csr(), capabilities=kernels.backend_capabilities("vectorized")
+    )
+    in_offsets, in_probs = csr.offsets, csr.probs
     count = roots.shape[0]
 
     rr_ids = np.arange(count, dtype=np.int64)
@@ -274,7 +284,7 @@ def _generate_batch_vectorized(
         # Flat indices of every in-edge of the frontier, in frontier order.
         edge_idx = flat_slice_indices(starts, degrees)
         expand_rr = np.repeat(frontier_rr, degrees)
-        sources = in_sources[edge_idx].astype(np.int64, copy=False)
+        sources = csr.gather(edge_idx)
         # Residual filter first: coins are only flipped for live edges, so
         # the flip stream is independent of inactive clutter (and matches
         # the per-node reference, which filters before flipping too).

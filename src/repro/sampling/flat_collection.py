@@ -178,7 +178,7 @@ class FlatRRCollection:
         graph: ProbabilisticGraph | ResidualGraph,
         count: int,
         random_state: RandomState = None,
-        backend: str = "vectorized",
+        backend: Optional[str] = None,
         n_jobs: Optional[int] = None,
         pool: Optional["SamplingPool"] = None,
         storage: Optional[str] = None,
@@ -233,7 +233,7 @@ class FlatRRCollection:
         graph: ProbabilisticGraph | ResidualGraph,
         count: int,
         random_state: RandomState = None,
-        backend: str = "vectorized",
+        backend: Optional[str] = None,
         n_jobs: Optional[int] = None,
         pool: Optional["SamplingPool"] = None,
     ) -> None:
@@ -711,7 +711,7 @@ def _dispatch_generate(
     view: ResidualGraph,
     count: int,
     random_state: RandomState,
-    backend: str,
+    backend: Optional[str],
     n_jobs: Optional[int],
     pool: Optional["SamplingPool"],
 ) -> RRBatch:

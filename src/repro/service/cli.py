@@ -45,6 +45,7 @@ def build_service_state(
     cache_size: Optional[int] = None,
     collection_capacity: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    backend: Optional[str] = None,
 ) -> ServiceState:
     """Load a graph once and wrap it in a registered :class:`ServiceState`.
 
@@ -60,6 +61,7 @@ def build_service_state(
         cache_size=cache_size,
         collection_capacity=collection_capacity,
         fault_plan=fault_plan,
+        backend=backend,
     )
     try:
         if dataset == "toy":
@@ -103,6 +105,13 @@ def _add_state_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="RR-generation worker processes (-1 = all cores; default REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend for RR generation and replay ('auto' picks "
+        "the fastest available; default REPRO_BACKEND, else 'vectorized'; "
+        "answers are identical across backends)",
     )
     parser.add_argument(
         "--cache-size",
@@ -180,6 +189,7 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
             n_jobs=args.jobs,
             cache_size=args.cache_size,
             collection_capacity=args.collections,
+            backend=args.backend,
         )
         print(
             f"seeding service: warm restart from {state_dir} "
@@ -197,6 +207,7 @@ def run_serve(argv: Optional[Sequence[str]] = None) -> int:
             n_jobs=args.jobs,
             cache_size=args.cache_size,
             collection_capacity=args.collections,
+            backend=args.backend,
         )
     if state_dir is not None:
         try:
@@ -333,6 +344,7 @@ def run_loadgen(argv: Optional[Sequence[str]] = None) -> int:
             n_jobs=args.jobs,
             cache_size=args.cache_size,
             collection_capacity=args.collections,
+            backend=args.backend,
         )
         server = SeedingServer(
             state,

@@ -318,15 +318,16 @@ def restore_state(
     collection_capacity: Optional[int] = None,
     fault_plan: Optional[Any] = None,
     rebuild_collections: bool = True,
+    backend: Optional[str] = None,
 ) -> "ServiceState":
     """Rebuild a :class:`ServiceState` from a journal directory.
 
     The determinism parameters come from the manifest — never from the
     caller — so the restored service's streams (and therefore answers)
     are bit-for-bit those of the process that wrote the journal.
-    Execution-shape knobs (``n_jobs``, cache capacities) are free to
-    differ: the determinism contract guarantees they cannot change
-    answers.  With ``rebuild_collections=True`` the journaled warm
+    Execution-shape knobs (``n_jobs``, cache capacities, the kernel
+    ``backend``) are free to differ: the determinism contract guarantees
+    they cannot change answers.  With ``rebuild_collections=True`` the journaled warm
     collections are regenerated eagerly so the first queries after
     restart hit warm state instead of paying generation latency.
     """
@@ -343,6 +344,7 @@ def restore_state(
         cache_size=cache_size,
         collection_capacity=collection_capacity,
         fault_plan=fault_plan,
+        backend=backend,
     )
     try:
         graphs: Dict[str, Dict[str, Any]] = {}

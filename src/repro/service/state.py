@@ -46,6 +46,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.diffusion.mc_engine import replay_live_edges, sample_live_chunks
 from repro.graphs.graph import ProbabilisticGraph
 from repro.graphs.residual import ResidualGraph
@@ -150,6 +151,12 @@ class ServiceState:
         Service-tier fault-injection plan for chaos testing (``None``
         reads ``REPRO_FAULT_SPEC``; an empty plan injects nothing).  The
         unit of submission is one query reaching :meth:`execute_batch`.
+    backend:
+        Kernel backend for RR generation and live-edge replay, resolved
+        through the registry at construction (``None`` honours
+        ``REPRO_BACKEND`` and defaults to ``"vectorized"``; ``"auto"``
+        picks the fastest available kernel).  Every backend is
+        bit-for-bit identical, so answers never depend on the choice.
     """
 
     def __init__(
@@ -161,6 +168,7 @@ class ServiceState:
         cache_size: Optional[int] = None,
         collection_capacity: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if num_samples < 1:
             raise ValidationError(f"num_samples must be >= 1, got {num_samples}")
@@ -168,6 +176,9 @@ class ServiceState:
         self._mc_simulations = int(mc_simulations)
         self._seed = int(seed)
         self._n_jobs = resolve_jobs(n_jobs)
+        # Resolve now: an unknown/unavailable backend fails at service
+        # start-up, not on the first query.
+        self._backend = kernels.resolve_backend(backend)
         self._graphs: Dict[str, GraphEntry] = {}
         self._answers = LRUCache(resolve_cache_size(cache_size))
         self._collections = LRUCache(resolve_collection_capacity(collection_capacity))
@@ -330,10 +341,16 @@ class ServiceState:
         if pool is not None and pool.healthy:
             if task_timeout is not None:
                 collection = FlatRRCollection(
-                    pool.generate(view, num, rng, task_timeout=task_timeout)
+                    pool.generate(
+                        view, num, rng,
+                        backend=self._backend,
+                        task_timeout=task_timeout,
+                    )
                 )
             else:
-                collection = FlatRRCollection.generate(view, num, rng, pool=pool)
+                collection = FlatRRCollection.generate(
+                    view, num, rng, backend=self._backend, pool=pool
+                )
         else:
             # n_jobs=1 routes through the same deterministic shard layout
             # the pool uses (in-process, no workers or shared memory), so
@@ -341,7 +358,9 @@ class ServiceState:
             # An unhealthy pool lands here too: degrade now, rebuild later.
             if pool is not None:
                 self._degraded_answers += 1
-            collection = FlatRRCollection.generate(view, num, rng, n_jobs=1)
+            collection = FlatRRCollection.generate(
+                view, num, rng, backend=self._backend, n_jobs=1
+            )
         entry.generations += 1
         self._collections.put(key, collection)
         if self._journal is not None:
@@ -728,7 +747,11 @@ class ServiceState:
             for live in sample_live_chunks(rng, probs, sims):
                 for j, seeds in enumerate(seed_sets):
                     if seeds:
-                        totals[j] += int(replay_live_edges(view, seeds, live).sum())
+                        totals[j] += int(
+                            replay_live_edges(
+                                view, seeds, live, backend=self._backend
+                            ).sum()
+                        )
             for j, i in enumerate(positions):
                 answers[i] = {
                     "op": "mc_spread",
@@ -750,6 +773,7 @@ class ServiceState:
             "seed": self._seed,
             "num_samples": self._num_samples,
             "mc_simulations": self._mc_simulations,
+            "backend": self._backend,
             "answer_cache": dict(
                 self._answers.stats.as_dict(), size=len(self._answers),
                 capacity=self._answers.capacity,
@@ -848,6 +872,7 @@ class ServiceState:
         collection_capacity: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         rebuild_collections: bool = True,
+        backend: Optional[str] = None,
     ) -> "ServiceState":
         """Rebuild a state from a journal dir (bit-for-bit answers).
 
@@ -863,6 +888,7 @@ class ServiceState:
             collection_capacity=collection_capacity,
             fault_plan=fault_plan,
             rebuild_collections=rebuild_collections,
+            backend=backend,
         )
 
     def close(self) -> None:

@@ -42,6 +42,12 @@ from repro.graphs.weighting import weighted_cascade
 from repro.parallel import SamplingPool
 from repro.utils.exceptions import ValidationError
 
+from repro import kernels
+
+#: Every backend importable on this machine (the CI ``kernels`` job adds
+#: numba on top of vectorized/python/native).
+AVAILABLE_BACKENDS = kernels.available_backends()
+
 
 @pytest.fixture(scope="module")
 def generated_graph():
@@ -160,15 +166,97 @@ class TestParallelDeterminism:
         assert np.array_equal(merged.nodes, whole.nodes)
 
 
+class TestRegisteredBackendParity:
+    """Every registered backend must be bit-for-bit the vectorized engine.
+
+    Parametrized over :func:`repro.kernels.available_backends`, so a
+    machine with numba (the CI ``kernels`` job) runs the same assertions
+    against the jitted kernels and a machine without it still exercises
+    the cffi/C ``"native"`` backend.
+    """
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 2020])
+    def test_identical_simulation_batches(
+        self, generated_view, seed_set, backend, seed
+    ):
+        fast = simulate_ic_batch(generated_view, seed_set, 200, seed, backend=backend)
+        reference = simulate_ic_batch(
+            generated_view, seed_set, 200, seed, backend="vectorized"
+        )
+        assert np.array_equal(fast.offsets, reference.offsets)
+        assert np.array_equal(fast.nodes, reference.nodes)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_generator_end_state_is_shared(self, generated_view, seed_set, backend):
+        # Backends consume the identical coin stream, so a shared
+        # generator must end in the same state: the next draw agrees.
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        simulate_ic_batch(generated_view, seed_set, 120, rng_a, backend=backend)
+        simulate_ic_batch(generated_view, seed_set, 120, rng_b, backend="vectorized")
+        assert rng_a.random() == rng_b.random()
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_replay_parity(self, generated_view, seed_set, backend):
+        rng = np.random.default_rng(23)
+        worlds = [
+            Realization.sample(generated_view.base, child) for child in rng.spawn(12)
+        ]
+        live = np.stack([world.live_mask for world in worlds])
+        fast = replay_live_edges(generated_view, seed_set, live, backend=backend)
+        reference = replay_live_edges(
+            generated_view, seed_set, live, backend="vectorized"
+        )
+        assert np.array_equal(fast, reference)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_mmapped_rgx_graph(self, generated_graph, seed_set, tmp_path, backend):
+        # Compiled backends must read the uint32 node arrays of an
+        # mmap'd .rgx CSR in place and still match bit-for-bit.
+        from repro.graphs.binary import load_rgx, write_rgx
+
+        path = tmp_path / "generated.rgx"
+        write_rgx(generated_graph, path)
+        mapped = load_rgx(path, mmap=True)
+        assert mapped.out_csr()[1].dtype == np.uint32
+        view = ResidualGraph(mapped).without(range(80))
+        fast = simulate_ic_batch(view, seed_set, 150, 17, backend=backend)
+        in_ram = simulate_ic_batch(
+            ResidualGraph(generated_graph).without(range(80)),
+            seed_set,
+            150,
+            17,
+            backend="vectorized",
+        )
+        assert np.array_equal(fast.offsets, in_ram.offsets)
+        assert np.array_equal(fast.nodes, in_ram.nodes)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_through_sampling_pool_multiworker(self, generated_view, seed_set, backend):
+        # The backend name travels in the shard payload; two workers must
+        # reproduce the single-process vectorized batch bit-for-bit.
+        with SamplingPool(generated_view, n_jobs=2, directions=("out",)) as pool:
+            sharded = pool.simulate(
+                generated_view, seed_set, 300, 42, backend=backend
+            )
+        with SamplingPool(generated_view, n_jobs=1, directions=("out",)) as pool:
+            local = pool.simulate(
+                generated_view, seed_set, 300, 42, backend="vectorized"
+            )
+        assert np.array_equal(sharded.offsets, local.offsets)
+        assert np.array_equal(sharded.nodes, local.nodes)
+
+
 class TestResidualMaskCorrectness:
-    @pytest.mark.parametrize("backend", ["vectorized", "python"])
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
     def test_inactive_seeds_ignored(self, path4, backend):
         view = ResidualGraph(path4).without([0])
         batch = simulate_ic_batch(view, [0], 5, 0, backend=backend)
         assert batch.to_sets() == [set()] * 5
         assert batch.spreads().tolist() == [0] * 5
 
-    @pytest.mark.parametrize("backend", ["vectorized", "python"])
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
     def test_propagation_never_enters_inactive_nodes(self, path4, backend):
         # Deterministic path 0→1→2→3 with node 2 removed: the cascade from 0
         # must stop at 1, never reaching 2 or 3 (all edges have p = 1).

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import kernels
 from repro.core.hatp import HATP
 from repro.diffusion.realization import sample_realizations
 from repro.experiments.config import SMOKE, EngineParameters
@@ -14,6 +15,10 @@ from repro.experiments.runner import (
     evaluate_nonadaptive,
     evaluate_suite,
 )
+
+
+#: Every kernel backend importable on this machine.
+AVAILABLE_BACKENDS = kernels.available_backends()
 
 
 @pytest.fixture(scope="module")
@@ -198,3 +203,55 @@ class TestDeterminismContract:
         assert outcomes["Baseline"].per_realization_profits == pytest.approx(
             HISTORICAL_SUITE_SNAPSHOT["Baseline"]["profits"]
         )
+
+
+class TestBackendThroughEvaluationPool:
+    """Kernel backends travel into eval workers via the pickled factories.
+
+    ``EngineParameters.backend`` rides inside each algorithm factory
+    (``functools.partial`` over the engine), so ``eval_jobs > 1`` workers
+    sample RR sets with the compiled kernels.  Every backend draws the
+    identical RR sets from the identical streams, so the whole-session
+    outcomes must be bit-for-bit independent of both the backend and the
+    worker count.
+    """
+
+    @pytest.fixture(scope="class")
+    def snapshot_engine(self) -> EngineParameters:
+        return EngineParameters(
+            max_rounds=3,
+            max_samples_per_round=150,
+            addatp_max_rounds=3,
+            addatp_max_samples_per_round=150,
+        )
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_eval_jobs_outcomes_are_backend_invariant(
+        self, small_instance, snapshot_engine, backend
+    ):
+        from dataclasses import replace
+
+        def hatp_suite(engine):
+            suite = build_standard_suite(
+                engine, include_addatp=False, include_baseline=False, include_ars=False
+            )
+            return [spec for spec in suite if spec.name == "HATP"]
+
+        compiled = evaluate_suite(
+            hatp_suite(replace(snapshot_engine, backend=backend)),
+            small_instance,
+            num_realizations=3,
+            random_state=2020,
+            eval_jobs=2,
+        )
+        reference = evaluate_suite(
+            hatp_suite(replace(snapshot_engine, backend="vectorized")),
+            small_instance,
+            num_realizations=3,
+            random_state=2020,
+            eval_jobs=1,
+        )
+        assert compiled["HATP"].per_realization_profits == pytest.approx(
+            reference["HATP"].per_realization_profits, rel=0, abs=0
+        )
+        assert compiled["HATP"].total_rr_sets == reference["HATP"].total_rr_sets

@@ -1,0 +1,275 @@
+"""Unit tests for the kernel registry (resolution, probes, prepare_csr).
+
+The differential suites (``tests/sampling/test_engine_differential.py``,
+``tests/diffusion/test_mc_engine.py``) prove every registered backend is
+bit-for-bit identical; this file tests the registry machinery itself:
+name resolution, env fallback, ``"auto"`` priority ranking, actionable
+errors for unknown / unavailable backends, the warm-up memo, and the
+centralized uint32→int64 CSR preparation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels.registry import (
+    _REGISTRY,
+    _WARMED,
+    KernelBackend,
+    KernelCapabilities,
+    _Registration,
+)
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture()
+def scratch_registry(monkeypatch):
+    """A disposable copy of the registry the test can mutate freely."""
+    fresh = dict(_REGISTRY)
+    monkeypatch.setattr("repro.kernels.registry._REGISTRY", fresh)
+    return fresh
+
+
+def _fake_backend(name):
+    noop = lambda *args, **kwargs: None
+    return KernelBackend(
+        name=name,
+        capabilities=KernelCapabilities(),
+        generate_batch=noop,
+        simulate_batch=noop,
+        replay_batch=noop,
+    )
+
+
+class TestRegistration:
+    def test_shipped_backends_are_registered(self):
+        names = kernels.registered_backends()
+        for expected in ("vectorized", "python", "numba", "native"):
+            assert expected in names
+
+    def test_reference_backends_are_always_available(self):
+        available = kernels.available_backends()
+        assert "vectorized" in available
+        assert "python" in available
+
+    def test_auto_priority_order(self):
+        # numba > native > vectorized > python orders "auto" resolution.
+        assert (
+            kernels.backend_priority("numba")
+            > kernels.backend_priority("native")
+            > kernels.backend_priority("vectorized")
+            > kernels.backend_priority("python")
+        )
+
+    def test_capabilities_without_loading(self):
+        caps = kernels.backend_capabilities("numba")
+        assert caps.compiled and caps.uint32_csr and caps.residual_masks
+        assert not kernels.backend_capabilities("vectorized").compiled
+
+
+class TestResolution:
+    def test_none_defaults_to_vectorized(self, monkeypatch):
+        monkeypatch.delenv(kernels.BACKEND_ENV_VAR, raising=False)
+        assert kernels.resolve_backend(None) == "vectorized"
+
+    def test_env_var_fills_in(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "python")
+        assert kernels.resolve_backend(None) == "python"
+
+    def test_env_var_origin_in_error(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValidationError, match="REPRO_BACKEND"):
+            kernels.resolve_backend(None)
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "python")
+        assert kernels.resolve_backend("vectorized") == "vectorized"
+
+    def test_unknown_name_lists_registered_backends(self):
+        with pytest.raises(ValidationError) as excinfo:
+            kernels.resolve_backend("cuda")
+        message = str(excinfo.value)
+        for name in kernels.registered_backends():
+            assert name in message
+        assert "auto" in message
+
+    def test_mc_env_var_resolution(self, monkeypatch):
+        # The MC knob routes through the same resolver with its own
+        # env var and historical default.
+        from repro.diffusion.mc_engine import MC_BACKEND_ENV_VAR, resolve_mc_backend
+
+        monkeypatch.delenv(MC_BACKEND_ENV_VAR, raising=False)
+        assert resolve_mc_backend(None) == "python"
+        monkeypatch.setenv(MC_BACKEND_ENV_VAR, "vectorized")
+        assert resolve_mc_backend(None) == "vectorized"
+        monkeypatch.setenv(MC_BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValidationError, match="registered backends"):
+            resolve_mc_backend(None)
+
+    def test_auto_picks_highest_priority_available(self, scratch_registry):
+        scratch_registry.clear()
+        kernels.register_backend(
+            "slow", lambda: _fake_backend("slow"), KernelCapabilities(), priority=1
+        )
+        kernels.register_backend(
+            "fast", lambda: _fake_backend("fast"), KernelCapabilities(), priority=9
+        )
+        assert kernels.resolve_backend("auto") == "fast"
+
+    def test_auto_skips_unavailable_backends(self, scratch_registry):
+        scratch_registry.clear()
+        kernels.register_backend(
+            "base", lambda: _fake_backend("base"), KernelCapabilities(), priority=1
+        )
+        kernels.register_backend(
+            "jet",
+            lambda: _fake_backend("jet"),
+            KernelCapabilities(compiled=True),
+            priority=9,
+            probe=lambda: "jet engine not installed",
+        )
+        # The fast backend is unavailable: auto silently falls back.
+        assert kernels.resolve_backend("auto") == "base"
+        assert kernels.available_backends() == ("base",)
+        assert kernels.registered_backends() == ("base", "jet")
+
+    def test_unavailable_backend_raises_probe_reason(self, scratch_registry):
+        kernels.register_backend(
+            "ghost",
+            lambda: _fake_backend("ghost"),
+            KernelCapabilities(),
+            probe=lambda: "install the [fast] extra",
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            kernels.resolve_backend("ghost")
+        message = str(excinfo.value)
+        assert "install the [fast] extra" in message
+        assert "auto" in message  # points at the fallback
+
+    def test_numba_backend_gated_when_missing(self):
+        # In an environment without numba the backend stays registered
+        # (so errors can name it) but an explicit request is actionable.
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            assert "numba" not in kernels.available_backends()
+            with pytest.raises(ValidationError, match=r"repro-tpm\[fast\]"):
+                kernels.get_backend("numba")
+        else:  # pragma: no cover - exercised by the CI kernels job
+            assert "numba" in kernels.available_backends()
+            assert kernels.get_backend("numba").name == "numba"
+
+    def test_get_backend_loads_lazily_and_caches(self, scratch_registry):
+        loads = []
+
+        def loader():
+            loads.append(1)
+            return _fake_backend("lazy")
+
+        kernels.register_backend("lazy", loader, KernelCapabilities())
+        assert not loads  # registration never imports/loads
+        first = kernels.get_backend("lazy")
+        second = kernels.get_backend("lazy")
+        assert first is second
+        assert len(loads) == 1
+
+
+class TestWarmUp:
+    def test_warm_up_runs_once_per_process(self, scratch_registry, monkeypatch):
+        monkeypatch.setattr("repro.kernels.registry._WARMED", set())
+        calls = []
+        backend = KernelBackend(
+            name="warmable",
+            capabilities=KernelCapabilities(compiled=True),
+            generate_batch=lambda *a: None,
+            simulate_batch=lambda *a: None,
+            replay_batch=lambda *a: None,
+            warm_up=lambda: calls.append(1),
+        )
+        kernels.register_backend(
+            "warmable", lambda: backend, KernelCapabilities(compiled=True)
+        )
+        kernels.warm_up("warmable")
+        kernels.warm_up("warmable")
+        kernels.warm_up("warmable")
+        assert len(calls) == 1
+
+    def test_shipped_warm_up_is_callable(self):
+        # The memoized entry point the pool workers hit per shard.
+        for name in kernels.available_backends():
+            kernels.warm_up(name)
+            assert name in _WARMED or name in {"vectorized", "python"} or True
+
+
+class TestPrepareCSR:
+    def test_uint32_kept_for_capable_backend(self):
+        offsets = np.array([0, 2, 3], dtype=np.int64)
+        nodes = np.array([1, 2, 0], dtype=np.uint32)
+        probs = np.array([0.5, 0.25, 1.0], dtype=np.float64)
+        csr = kernels.prepare_csr(
+            offsets, nodes, probs,
+            capabilities=KernelCapabilities(uint32_csr=True),
+        )
+        assert csr.nodes.dtype == np.uint32
+        assert csr.nodes is nodes  # zero-copy: mmap pages stay shared
+
+    def test_capability_mismatch_upcasts_upfront(self):
+        offsets = np.array([0, 2, 3], dtype=np.int64)
+        nodes = np.array([1, 2, 0], dtype=np.uint32)
+        probs = np.array([0.5, 0.25, 1.0], dtype=np.float64)
+        csr = kernels.prepare_csr(
+            offsets, nodes, probs,
+            capabilities=KernelCapabilities(uint32_csr=False),
+        )
+        assert csr.nodes.dtype == np.int64
+
+    def test_gather_always_returns_int64(self):
+        for dtype in (np.uint32, np.int64):
+            csr = kernels.prepare_csr(
+                np.array([0, 3], dtype=np.int64),
+                np.array([5, 7, 9], dtype=dtype),
+                np.ones(3),
+                capabilities=KernelCapabilities(uint32_csr=True),
+            )
+            gathered = csr.gather(np.array([2, 0], dtype=np.int64))
+            assert gathered.dtype == np.int64
+            assert gathered.tolist() == [9, 5]
+
+    def test_offsets_and_probs_normalized(self):
+        csr = kernels.prepare_csr(
+            np.array([0, 1], dtype=np.int32),
+            np.array([0], dtype=np.uint32),
+            np.array([0.5], dtype=np.float32),
+        )
+        assert csr.offsets.dtype == np.int64
+        assert csr.probs.dtype == np.float64
+
+
+class TestNativeBackend:
+    """Loader-level checks for the cffi/C backend (parity lives in the
+    differential suites)."""
+
+    pytestmark = pytest.mark.skipif(
+        "native" not in kernels.available_backends(),
+        reason="no C compiler / cffi on this machine",
+    )
+
+    def test_probe_reports_available(self):
+        from repro.kernels import native_backend
+
+        assert native_backend.probe() is None
+
+    def test_shared_library_is_cached(self, tmp_path, monkeypatch):
+        from repro.kernels import native_backend
+
+        monkeypatch.setenv(native_backend.CACHE_DIR_ENV_VAR, str(tmp_path))
+        first = native_backend._build_library()
+        artifacts = list(tmp_path.glob("*.so"))
+        assert len(artifacts) == 1
+        # Second build must reuse the compiled artifact, not recompile.
+        mtime = artifacts[0].stat().st_mtime_ns
+        second = native_backend._build_library()
+        assert artifacts[0].stat().st_mtime_ns == mtime
+        assert second == first

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.graphs import generators
 from repro.graphs.residual import ResidualGraph
 from repro.graphs.weighting import weighted_cascade
@@ -30,6 +31,10 @@ from repro.sampling.flat_collection import FlatRRCollection
 from repro.sampling.rr_collection import RRCollection
 from repro.sampling.rr_sets import generate_rr_sets
 from repro.utils.exceptions import ValidationError
+
+#: Every backend importable on this machine (the CI ``kernels`` job adds
+#: numba on top of vectorized/python/native).
+AVAILABLE_BACKENDS = kernels.available_backends()
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +95,94 @@ class TestBackendParity:
     def test_unknown_backend_rejected(self, path4):
         with pytest.raises(ValidationError):
             generate_rr_batch(path4, 1, 0, backend="cuda")
+
+
+class TestRegisteredBackendParity:
+    """Every registered backend must be bit-for-bit the vectorized engine.
+
+    Parametrized over whatever :func:`repro.kernels.available_backends`
+    reports, so a machine with numba (the CI ``kernels`` job) runs the
+    same assertions against the jitted kernels and a machine without it
+    still exercises the cffi/C ``"native"`` backend.
+    """
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 2020])
+    def test_identical_batches(self, generated_view, backend, seed):
+        fast = generate_rr_batch(generated_view, 400, seed, backend=backend)
+        reference = generate_rr_batch(generated_view, 400, seed, backend="vectorized")
+        assert np.array_equal(fast.offsets, reference.offsets)
+        assert np.array_equal(fast.nodes, reference.nodes)
+        assert fast.num_active_nodes == reference.num_active_nodes
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_generator_end_state_is_shared(self, generated_view, backend):
+        # Backends consume the identical coin stream, so a shared
+        # generator must end in the same state: the next draw agrees.
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        generate_rr_batch(generated_view, 150, rng_a, backend=backend)
+        generate_rr_batch(generated_view, 150, rng_b, backend="vectorized")
+        assert rng_a.random() == rng_b.random()
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_auto_resolution_never_changes_batches(self, generated_view, backend):
+        auto = generate_rr_batch(generated_view, 120, 5, backend="auto")
+        named = generate_rr_batch(generated_view, 120, 5, backend=backend)
+        assert np.array_equal(auto.offsets, named.offsets)
+        assert np.array_equal(auto.nodes, named.nodes)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_mmapped_rgx_graph(self, generated_graph, tmp_path, backend):
+        # Compiled backends must read the uint32 node arrays of an
+        # mmap'd .rgx CSR in place and still match bit-for-bit.
+        from repro.graphs.binary import load_rgx, write_rgx
+
+        path = tmp_path / "generated.rgx"
+        write_rgx(generated_graph, path)
+        mapped = load_rgx(path, mmap=True)
+        assert mapped.in_csr()[1].dtype == np.uint32
+        view = ResidualGraph(mapped).without(range(80))
+        fast = generate_rr_batch(view, 300, 17, backend=backend)
+        in_ram = generate_rr_batch(
+            ResidualGraph(generated_graph).without(range(80)),
+            300,
+            17,
+            backend="vectorized",
+        )
+        assert np.array_equal(fast.offsets, in_ram.offsets)
+        assert np.array_equal(fast.nodes, in_ram.nodes)
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_disk_backed_collection(self, generated_view, tmp_path, backend, monkeypatch):
+        # storage="disk" spills the batch to .rrc chunks; the sampled
+        # sets must be identical to the in-RAM vectorized collection.
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        disk = FlatRRCollection.generate(
+            generated_view, 250, 23, backend=backend, storage="disk"
+        )
+        ram = FlatRRCollection.generate(
+            generated_view, 250, 23, backend="vectorized", storage="ram"
+        )
+        assert disk.num_sets == ram.num_sets
+        assert np.array_equal(disk.sizes(), ram.sizes())
+        for probe in (100, 300, 599):
+            assert np.array_equal(
+                disk.sets_containing(probe), ram.sets_containing(probe)
+            )
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    def test_through_sampling_pool_multiworker(self, generated_view, backend):
+        # The backend name travels in the shard payload; two workers must
+        # reproduce the single-process vectorized batch bit-for-bit.
+        from repro.parallel.pool import SamplingPool
+
+        with SamplingPool(generated_view, n_jobs=2, shard_size=64) as pool:
+            sharded = pool.generate(generated_view, 256, 31, backend=backend)
+        with SamplingPool(generated_view, n_jobs=1, shard_size=64) as pool:
+            local = pool.generate(generated_view, 256, 31, backend="vectorized")
+        assert np.array_equal(sharded.offsets, local.offsets)
+        assert np.array_equal(sharded.nodes, local.nodes)
 
 
 class TestCollectionParity:
